@@ -1,0 +1,89 @@
+// Figure 8: kMaxRRST on the multipoint NYF (Foursquare-like) dataset.
+//   (a) vs #stops; (b) vs #facilities.
+// Series: S-BL, S-TQ(B), S-TQ(Z) (segmented index) and F-BL(=same baseline),
+// F-TQ(B), F-TQ(Z) (full-trajectory index). The baseline is identical in
+// both framings; it is printed once per group like the paper's figure.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace tq;          // NOLINT(build/namespaces)
+using namespace tq::bench;   // NOLINT(build/namespaces)
+
+namespace {
+
+struct MultiWorkload {
+  Workload segmented;  // S-TQ(B)/S-TQ(Z) + BL
+  Workload full;       // F-TQ(B)/F-TQ(Z)
+};
+
+MultiWorkload Build(const BenchEnv& env, size_t num_users, size_t routes,
+                    size_t stops) {
+  const ServiceModel model = ServiceModel::PointCount(env.DefaultPsi());
+  MultiWorkload mw;
+  mw.segmented = BuildWorkload(presets::NyfCheckins(num_users),
+                               presets::NyBusRoutes(routes, stops), model,
+                               env.DefaultBeta(), TrajMode::kSegmented);
+  mw.full = BuildWorkload(presets::NyfCheckins(num_users),
+                          presets::NyBusRoutes(routes, stops), model,
+                          env.DefaultBeta(), TrajMode::kWhole,
+                          static_cast<BuildWhat>(
+                              static_cast<unsigned>(BuildWhat::kBasic) |
+                              static_cast<unsigned>(BuildWhat::kZOrder)));
+  return mw;
+}
+
+void MeasureRow(MultiWorkload* mw, size_t k, const BenchEnv& env,
+                const std::string& label) {
+  double sink = 0.0;
+  const double bl = TimeAvgSeconds(env.reps, [&] {
+    sink += TopKFacilitiesBaseline(*mw->segmented.bl_index,
+                                   *mw->segmented.catalog,
+                                   *mw->segmented.eval, k)
+                .ranked[0]
+                .value;
+  });
+  auto tq_time = [&](TQTree* tree, const Workload& w) {
+    return TimeAvgSeconds(env.reps, [&] {
+      sink += TopKFacilitiesTQ(tree, *w.catalog, *w.eval, k)
+                  .ranked[0]
+                  .value;
+    });
+  };
+  const double stb = tq_time(mw->segmented.tq_basic.get(), mw->segmented);
+  const double stz = tq_time(mw->segmented.tq_z.get(), mw->segmented);
+  const double ftb = tq_time(mw->full.tq_basic.get(), mw->full);
+  const double ftz = tq_time(mw->full.tq_z.get(), mw->full);
+  PrintTimeRow(label, {"BL", "S_TQ_B", "S_TQ_Z", "F_TQ_B", "F_TQ_Z"},
+               {bl, stb, stz, ftb, ftz});
+  if (sink < 0) std::printf("impossible\n");
+}
+
+}  // namespace
+
+int main() {
+  BenchEnv env = BenchEnv::FromEnv();
+  // Multipoint top-k queries are the heaviest in the suite; cap repetitions
+  // so the default run stays in bench-suite budget (REPRO_REPS overrides).
+  if (std::getenv("REPRO_REPS") == nullptr) {
+    env.reps = std::max<size_t>(1, env.reps / 2);
+  }
+  const auto num_users = static_cast<size_t>(212751 * env.scale);
+  std::printf("Figure 8: multipoint NYF kMaxRRST (users=%zu reps=%zu)\n",
+              num_users, env.reps);
+
+  Banner("Fig 8(a): time vs #stops");
+  PrintSeriesHeader({"BL", "S_TQ_B", "S_TQ_Z", "F_TQ_B", "F_TQ_Z"});
+  for (const size_t stops : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    MultiWorkload mw = Build(env, num_users, 64, stops);
+    MeasureRow(&mw, env.DefaultK(), env, "S=" + std::to_string(stops));
+  }
+
+  Banner("Fig 8(b): time vs #facilities");
+  PrintSeriesHeader({"BL", "S_TQ_B", "S_TQ_Z", "F_TQ_B", "F_TQ_Z"});
+  for (const size_t nf : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    MultiWorkload mw = Build(env, num_users, nf, env.DefaultStops());
+    MeasureRow(&mw, env.DefaultK(), env, "N=" + std::to_string(nf));
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Substrate micro-benchmarks (google-benchmark): the primitive operations
+// whose costs the index-level results decompose into.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/presets.h"
+#include "quadtree/point_quadtree.h"
+#include "service/stop_grid.h"
+#include "tqtree/aggregates.h"
+#include "tqtree/tq_tree.h"
+#include "zorder/cell_tree.h"
+#include "zorder/zid.h"
+
+namespace tq {
+namespace {
+
+void BM_MortonKey(benchmark::State& state) {
+  const Rect w = Rect::Of(0, 0, 40000, 40000);
+  Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 1024; ++i) {
+    pts.push_back({rng.NextUniform(0, 40000), rng.NextUniform(0, 40000)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MortonKey(w, pts[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_MortonKey);
+
+void BM_CellTreeLocate(benchmark::State& state) {
+  const Rect w = Rect::Of(0, 0, 40000, 40000);
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 100000; ++i) {
+    pts.push_back({rng.NextGaussian(20000, 4000),
+                   rng.NextGaussian(20000, 4000)});
+  }
+  const CellTree tree(w, pts, 64);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Locate(pts[i++ % pts.size()]));
+  }
+}
+BENCHMARK(BM_CellTreeLocate);
+
+void BM_CellTreeCoverRanges(benchmark::State& state) {
+  const Rect w = Rect::Of(0, 0, 40000, 40000);
+  Rng rng(3);
+  std::vector<Point> pts;
+  for (int i = 0; i < 100000; ++i) {
+    pts.push_back({rng.NextGaussian(20000, 4000),
+                   rng.NextGaussian(20000, 4000)});
+  }
+  const CellTree tree(w, pts, 64);
+  const Rect query = Rect::Of(18000, 18000, 22000, 22000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.CoverRanges(query));
+  }
+}
+BENCHMARK(BM_CellTreeCoverRanges);
+
+void BM_StopGridServes(benchmark::State& state) {
+  const TrajectorySet routes = presets::NyBusRoutes(1, 64);
+  const StopGrid grid(routes.points(0), 200.0);
+  Rng rng(4);
+  std::vector<Point> probes;
+  for (int i = 0; i < 1024; ++i) {
+    probes.push_back({rng.NextUniform(0, 40000), rng.NextUniform(0, 40000)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.Serves(probes[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_StopGridServes);
+
+void BM_PointQuadtreeDiskQuery(benchmark::State& state) {
+  const TrajectorySet users = presets::NytTrips(50000);
+  PointQuadtree pq(users.BoundingBox().Expanded(1.0), 128);
+  pq.InsertAll(users);
+  Rng rng(5);
+  std::vector<Point> centers;
+  for (int i = 0; i < 256; ++i) {
+    centers.push_back({rng.NextUniform(0, 40000), rng.NextUniform(0, 40000)});
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    pq.ForEachInDisk(centers[i++ & 255], 200.0,
+                     [&count](const PointEntry&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_PointQuadtreeDiskQuery);
+
+void BM_TQTreeInsert(benchmark::State& state) {
+  const TrajectorySet users = presets::NytTrips(50000);
+  TQTreeOptions opt;
+  opt.beta = 64;
+  opt.model = ServiceModel::Endpoints(200.0);
+  TQTree tree(&users, opt);
+  uint32_t u = 0;
+  for (auto _ : state) {
+    // Steady-state churn: remove + re-insert keeps the tree size constant.
+    tree.Remove(u % users.size());
+    tree.Insert(u % users.size());
+    ++u;
+  }
+}
+BENCHMARK(BM_TQTreeInsert);
+
+void BM_ZIndexRebuild(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  const TrajectorySet users = presets::NytTrips(n);
+  std::vector<TrajEntry> entries;
+  const ServiceModel model = ServiceModel::Endpoints(200.0);
+  for (uint32_t i = 0; i < users.size(); ++i) {
+    entries.push_back(MakeWholeEntry(users, i, model));
+  }
+  const Rect w = users.BoundingBox().Expanded(1.0);
+  for (auto _ : state) {
+    const ZIndex zi(w, entries, 64, ZPruneMode::kStartEnd);
+    benchmark::DoNotOptimize(zi.num_buckets());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ZIndexRebuild)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace tq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Tables I-III of the paper: dataset summaries and the parameter grid.
+//
+// Prints the synthetic stand-ins' statistics next to the paper's real
+// dataset numbers so the substitution is auditable (DESIGN.md §3).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "traj/stats.h"
+
+using namespace tq;          // NOLINT(build/namespaces)
+using namespace tq::bench;   // NOLINT(build/namespaces)
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  std::printf("tqcover dataset tables (scale=%.3f%s)\n", env.scale,
+              env.full ? ", FULL" : "");
+
+  Banner("Table I: facility trajectory datasets (paper: NY 2024 routes / "
+         "16999 stops; BJ 1842 / 21489)");
+  {
+    // Match the paper's per-route stop density (~8.4 and ~11.7 stops).
+    const auto ny_routes = static_cast<size_t>(2024 * env.scale) + 1;
+    const auto bj_routes = static_cast<size_t>(1842 * env.scale) + 1;
+    const TrajectorySet ny = presets::NyBusRoutes(ny_routes, 8);
+    const TrajectorySet bj = presets::BjBusRoutes(bj_routes, 12);
+    std::printf("%s\n", ComputeStats(ny).ToString("NY-bus").c_str());
+    std::printf("%s\n", ComputeStats(bj).ToString("BJ-bus").c_str());
+  }
+
+  Banner("Table II: user trajectory datasets (paper: NYT 1032637 "
+         "point-to-point; NYF 212751 multipoint; BJG 30266 multipoint)");
+  {
+    const TrajectorySet nyt =
+        presets::NytTrips(static_cast<size_t>(1032637 * env.scale));
+    const TrajectorySet nyf =
+        presets::NyfCheckins(static_cast<size_t>(212751 * env.scale));
+    const TrajectorySet bjg =
+        presets::BjgTraces(static_cast<size_t>(30266 * env.scale));
+    std::printf("%s\n", ComputeStats(nyt).ToString("NYT").c_str());
+    std::printf("%s\n", ComputeStats(nyf).ToString("NYF").c_str());
+    std::printf("%s\n", ComputeStats(bjg).ToString("BJG").c_str());
+  }
+
+  Banner("Table III: parameters (defaults in use)");
+  std::printf("Routes:        NY, BJ\n");
+  std::printf("Datasets:      NYT, NYF, BJG\n");
+  std::printf("# Trajectories sweep: ");
+  for (const size_t n : presets::NytUserSweep(env.scale)) {
+    std::printf("%zu ", n);
+  }
+  std::printf("\n# Stops (S):   8..512, default %zu\n", env.DefaultStops());
+  std::printf("# Facil. (N):  8..512, default %zu\n",
+              env.DefaultFacilities());
+  std::printf("k:             4..32, default %zu\n", env.DefaultK());
+  std::printf("psi:           %.0f m (paper default unstated; documented "
+              "assumption)\n",
+              env.DefaultPsi());
+  std::printf("beta:          %zu\n", env.DefaultBeta());
+  return 0;
+}

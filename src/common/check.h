@@ -1,0 +1,39 @@
+// Internal invariant checking macros (Google style: crash on programmer error,
+// never on user input — user input goes through Status).
+#ifndef TQCOVER_COMMON_CHECK_H_
+#define TQCOVER_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when an internal invariant is violated. Enabled in
+/// all build types: invariant violations in index code corrupt query results
+/// silently, which is worse than a crash.
+#define TQ_CHECK(cond)                                                      \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TQ_CHECK failed: %s at %s:%d\n", #cond,         \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TQ_CHECK_MSG(cond, msg)                                             \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TQ_CHECK failed: %s (%s) at %s:%d\n", #cond,    \
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Cheap checks compiled out of release-with-assertions-off builds.
+#ifndef NDEBUG
+#define TQ_DCHECK(cond) TQ_CHECK(cond)
+#else
+#define TQ_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#endif
+
+#endif  // TQCOVER_COMMON_CHECK_H_

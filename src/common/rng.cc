@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tq {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  TQ_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+bool Rng::NextBernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  TQ_CHECK(n > 0);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (uint64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = acc;
+    }
+    for (uint64_t i = 0; i < n; ++i) zipf_cdf_[i] /= acc;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  const double u = NextDouble();
+  // Binary search for the first CDF entry >= u.
+  size_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  TQ_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+}  // namespace tq

@@ -1,0 +1,59 @@
+// Deterministic, seedable pseudo-random generator used by all workload
+// generators and randomized algorithms. A fixed in-repo implementation
+// (splitmix64 + xoshiro256**) keeps benchmark workloads bit-identical across
+// standard libraries, which std::mt19937 distributions do not guarantee.
+#ifndef TQCOVER_COMMON_RNG_H_
+#define TQCOVER_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tq {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographic; fast and
+/// reproducible, which is what dataset generation needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// True with probability p.
+  bool NextBernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform).
+  /// Uses a precomputed CDF per (n, s) pair; intended for repeated draws.
+  uint64_t NextZipf(uint64_t n, double s);
+
+  /// Integer uniform in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+  // Cached Zipf CDF for the last (n, s) used.
+  std::vector<double> zipf_cdf_;
+  uint64_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_COMMON_RNG_H_

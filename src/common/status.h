@@ -1,0 +1,111 @@
+// Minimal Status/Result error-handling vocabulary, after the Arrow/RocksDB
+// idiom: library code never throws; fallible operations return Status or
+// Result<T>.
+#ifndef TQCOVER_COMMON_STATUS_H_
+#define TQCOVER_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tq {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Value-semantic status object. `Status::OK()` is cheap (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IOError: no such file".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Mirrors arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    TQ_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Crashes if `!ok()` — call sites must check first (or use ValueOrDie
+  /// deliberately in tests/benches where the input is known-good).
+  T& ValueOrDie() {
+    TQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  const T& ValueOrDie() const {
+    TQ_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates a non-OK status to the caller.
+#define TQ_RETURN_NOT_OK(expr)            \
+  do {                                    \
+    ::tq::Status _st = (expr);            \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+}  // namespace tq
+
+#endif  // TQCOVER_COMMON_STATUS_H_

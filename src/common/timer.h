@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+#ifndef TQCOVER_COMMON_TIMER_H_
+#define TQCOVER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tq {
+
+/// Monotonic stopwatch. Construction starts the clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_COMMON_TIMER_H_

@@ -1,0 +1,53 @@
+#include "cover/coverage_state.h"
+
+#include "common/check.h"
+
+namespace tq {
+
+CoverageState::CoverageState(const ServiceEvaluator* eval) : eval_(eval) {
+  TQ_CHECK(eval != nullptr);
+}
+
+double CoverageState::MarginalGain(const FacilityServedSet& fs) const {
+  double gain = 0.0;
+  for (const auto& [user, mask] : fs.served) {
+    const auto it = covers_.find(user);
+    if (it == covers_.end()) {
+      gain += eval_->ValueOfMask(user, mask);
+      continue;
+    }
+    DynamicBitset merged = it->second.mask;
+    merged.UnionWith(mask);
+    gain += eval_->ValueOfMask(user, merged) - it->second.value;
+  }
+  return gain;
+}
+
+void CoverageState::Add(const FacilityServedSet& fs) {
+  for (const auto& [user, mask] : fs.served) {
+    auto it = covers_.find(user);
+    if (it == covers_.end()) {
+      UserCover uc;
+      uc.mask = mask;
+      uc.value = eval_->ValueOfMask(user, uc.mask);
+      total_ += uc.value;
+      if (uc.value > 0.0) ++users_served_;
+      covers_.emplace(user, std::move(uc));
+      continue;
+    }
+    UserCover& uc = it->second;
+    const double before = uc.value;
+    uc.mask.UnionWith(mask);
+    uc.value = eval_->ValueOfMask(user, uc.mask);
+    total_ += uc.value - before;
+    if (before <= 0.0 && uc.value > 0.0) ++users_served_;
+  }
+}
+
+void CoverageState::Clear() {
+  covers_.clear();
+  total_ = 0.0;
+  users_served_ = 0;
+}
+
+}  // namespace tq

@@ -1,0 +1,30 @@
+// Exact MaxkCovRST by exhaustive enumeration — exponential, used only to
+// measure approximation ratios on reduced instances (Fig. 11).
+#ifndef TQCOVER_COVER_EXACT_H_
+#define TQCOVER_COVER_EXACT_H_
+
+#include <vector>
+
+#include "cover/coverage_state.h"
+#include "cover/served_sets.h"
+
+namespace tq {
+
+/// Exact solver output.
+struct ExactCoverResult {
+  std::vector<FacilityId> chosen;
+  double total = 0.0;
+  size_t users_served = 0;
+  size_t combinations_evaluated = 0;
+};
+
+/// Enumerates every k-subset of `sets` and returns the best. C(n, k) grows
+/// fast; TQ_CHECKs that the combination count stays below `max_combinations`
+/// so a miscalled benchmark fails loudly instead of hanging.
+ExactCoverResult ExactCover(const std::vector<FacilityServedSet>& sets,
+                            size_t k, const ServiceEvaluator& eval,
+                            size_t max_combinations = 20'000'000);
+
+}  // namespace tq
+
+#endif  // TQCOVER_COVER_EXACT_H_

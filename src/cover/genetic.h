@@ -1,0 +1,34 @@
+// Genetic-algorithm MaxkCovRST solver — the paper's Gn-TQ(Z) competitor
+// (§VI: "genetic algorithm (20 iterations)" over the TQ(Z) index).
+#ifndef TQCOVER_COVER_GENETIC_H_
+#define TQCOVER_COVER_GENETIC_H_
+
+#include "cover/greedy.h"
+#include "cover/served_sets.h"
+
+namespace tq {
+
+/// GA hyper-parameters. Defaults follow the paper where stated (20
+/// generations) and common practice elsewhere.
+struct GeneticOptions {
+  size_t population = 32;
+  size_t generations = 20;
+  size_t tournament = 3;
+  double mutation_rate = 0.1;
+  uint64_t seed = 0x5EEDu;
+};
+
+/// Runs the GA over the full facility set, fetching served sets lazily from
+/// `cache` (only facilities that appear in some chromosome are collected).
+CoverResult GeneticCover(ServedSetCache* cache, size_t num_facilities,
+                         size_t k, const ServiceEvaluator& eval,
+                         const GeneticOptions& options = {});
+
+/// Convenience wrapper building the cache from a TQ(Z) tree: Gn-TQ(Z).
+CoverResult GeneticCoverTQ(TQTree* tree, const FacilityCatalog& catalog,
+                           const ServiceEvaluator& eval, size_t k,
+                           const GeneticOptions& options = {});
+
+}  // namespace tq
+
+#endif  // TQCOVER_COVER_GENETIC_H_

@@ -1,0 +1,84 @@
+#include "cover/greedy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "query/topk.h"
+
+namespace tq {
+
+size_t DefaultPoolSize(size_t k, size_t num_facilities) {
+  return std::min(num_facilities, std::max(4 * k, 2 * k + 8));
+}
+
+namespace {
+
+CoverResult GreedyOverSets(const std::vector<const FacilityServedSet*>& sets,
+                           size_t k, const ServiceEvaluator& eval) {
+  CoverResult result;
+  result.pool_size = sets.size();
+  CoverageState state(&eval);
+  std::vector<bool> used(sets.size(), false);
+  const size_t rounds = std::min(k, sets.size());
+  for (size_t round = 0; round < rounds; ++round) {
+    double best_gain = -1.0;
+    size_t best_idx = sets.size();
+    for (size_t i = 0; i < sets.size(); ++i) {
+      if (used[i]) continue;
+      const double gain = state.MarginalGain(*sets[i]);
+      // Ties by facility id keep results deterministic.
+      if (gain > best_gain ||
+          (gain == best_gain && best_idx < sets.size() &&
+           sets[i]->id < sets[best_idx]->id)) {
+        best_gain = gain;
+        best_idx = i;
+      }
+    }
+    TQ_CHECK(best_idx < sets.size());
+    used[best_idx] = true;
+    state.Add(*sets[best_idx]);
+    result.chosen.push_back(sets[best_idx]->id);
+  }
+  result.total = state.total();
+  result.users_served = state.users_served();
+  return result;
+}
+
+}  // namespace
+
+CoverResult GreedyCover(const std::vector<FacilityServedSet>& sets, size_t k,
+                        const ServiceEvaluator& eval) {
+  std::vector<const FacilityServedSet*> ptrs;
+  ptrs.reserve(sets.size());
+  for (const auto& s : sets) ptrs.push_back(&s);
+  return GreedyOverSets(ptrs, k, eval);
+}
+
+CoverResult GreedyCoverBaseline(const PointQuadtree& index,
+                                const FacilityCatalog& catalog,
+                                const ServiceEvaluator& eval, size_t k) {
+  std::vector<FacilityServedSet> sets;
+  sets.reserve(catalog.size());
+  for (uint32_t f = 0; f < catalog.size(); ++f) {
+    sets.push_back(CollectServedSetBaseline(index, catalog, eval, f));
+  }
+  return GreedyCover(sets, k, eval);
+}
+
+CoverResult GreedyCoverTQ(TQTree* tree, const FacilityCatalog& catalog,
+                          const ServiceEvaluator& eval, size_t k,
+                          size_t pool_size) {
+  if (pool_size == 0) pool_size = DefaultPoolSize(k, catalog.size());
+  pool_size = std::min(pool_size, catalog.size());
+  // Step 1: pool the k′ highest-serving facilities with kMaxRRST (Alg. 3).
+  const TopKResult pool = TopKFacilitiesTQ(tree, catalog, eval, pool_size);
+  // Step 2: exact greedy inside the pool.
+  std::vector<FacilityServedSet> sets;
+  sets.reserve(pool.ranked.size());
+  for (const RankedFacility& rf : pool.ranked) {
+    sets.push_back(CollectServedSetTQ(tree, catalog, eval, rf.id));
+  }
+  return GreedyCover(sets, k, eval);
+}
+
+}  // namespace tq

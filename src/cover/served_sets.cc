@@ -1,0 +1,61 @@
+#include "cover/served_sets.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "query/baseline.h"
+
+namespace tq {
+
+FacilityServedSet FinalizeServedSet(
+    FacilityId id, std::unordered_map<uint32_t, DynamicBitset>&& gathered,
+    const ServiceEvaluator& eval) {
+  FacilityServedSet fs;
+  fs.id = id;
+  fs.served.reserve(gathered.size());
+  for (auto& [user, mask] : gathered) {
+    const double value = eval.ValueOfMask(user, mask);
+    fs.so += value;
+    // Keep only masks that can ever contribute: empty masks are noise.
+    if (!mask.None()) fs.served.emplace_back(user, std::move(mask));
+  }
+  std::sort(fs.served.begin(), fs.served.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return fs;
+}
+
+FacilityServedSet CollectServedSetTQ(TQTree* tree,
+                                     const FacilityCatalog& catalog,
+                                     const ServiceEvaluator& eval,
+                                     FacilityId id) {
+  std::unordered_map<uint32_t, DynamicBitset> gathered;
+  CollectServedTQ(tree, eval, catalog.grid(id), &gathered);
+  return FinalizeServedSet(id, std::move(gathered), eval);
+}
+
+FacilityServedSet CollectServedSetBaseline(const PointQuadtree& index,
+                                           const FacilityCatalog& catalog,
+                                           const ServiceEvaluator& eval,
+                                           FacilityId id) {
+  std::unordered_map<uint32_t, DynamicBitset> gathered;
+  CollectServedBaseline(index, eval, catalog.grid(id), &gathered);
+  return FinalizeServedSet(id, std::move(gathered), eval);
+}
+
+ServedSetCache::ServedSetCache(TQTree* tree, const FacilityCatalog* catalog,
+                               const ServiceEvaluator* eval)
+    : tree_(tree), catalog_(catalog), eval_(eval) {
+  TQ_CHECK(tree != nullptr && catalog != nullptr && eval != nullptr);
+  cache_.resize(catalog->size());
+}
+
+const FacilityServedSet& ServedSetCache::Get(FacilityId id) {
+  TQ_CHECK(id < cache_.size());
+  if (!cache_[id].has_value()) {
+    cache_[id] = CollectServedSetTQ(tree_, *catalog_, *eval_, id);
+    ++collected_;
+  }
+  return *cache_[id];
+}
+
+}  // namespace tq

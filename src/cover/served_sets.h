@@ -1,0 +1,69 @@
+// Per-facility served-user sets: the currency of the MaxkCovRST algorithms.
+//
+// A FacilityServedSet records, for one facility, every user it touches and
+// the exact points/segments it serves (ServeDetail masks). Combined service
+// of a facility group is then pure set algebra — the AGG union of §II-B —
+// with no further geometry.
+#ifndef TQCOVER_COVER_SERVED_SETS_H_
+#define TQCOVER_COVER_SERVED_SETS_H_
+
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "quadtree/point_quadtree.h"
+#include "query/eval_service.h"
+#include "service/facility_index.h"
+
+namespace tq {
+
+/// Everything facility `id` serves, with its standalone SO(U, id).
+struct FacilityServedSet {
+  FacilityId id = 0;
+  double so = 0.0;
+  /// (user, served mask), sorted by user id. Masks follow the
+  /// ServiceEvaluator layout for the model in use.
+  std::vector<std::pair<uint32_t, DynamicBitset>> served;
+};
+
+/// Builds a served set from a gathered user→mask map.
+FacilityServedSet FinalizeServedSet(
+    FacilityId id, std::unordered_map<uint32_t, DynamicBitset>&& gathered,
+    const ServiceEvaluator& eval);
+
+/// Served set via the TQ-tree traversal (Algorithm 1's pruning).
+FacilityServedSet CollectServedSetTQ(TQTree* tree,
+                                     const FacilityCatalog& catalog,
+                                     const ServiceEvaluator& eval,
+                                     FacilityId id);
+
+/// Served set via baseline range queries (for G-BL).
+FacilityServedSet CollectServedSetBaseline(const PointQuadtree& index,
+                                           const FacilityCatalog& catalog,
+                                           const ServiceEvaluator& eval,
+                                           FacilityId id);
+
+/// Lazy, memoised served-set source backed by the TQ-tree. The genetic
+/// algorithm only ever needs the facilities its population mentions, so
+/// collection is deferred until first use.
+class ServedSetCache {
+ public:
+  ServedSetCache(TQTree* tree, const FacilityCatalog* catalog,
+                 const ServiceEvaluator* eval);
+
+  const FacilityServedSet& Get(FacilityId id);
+  size_t collected() const { return collected_; }
+
+ private:
+  TQTree* tree_;
+  const FacilityCatalog* catalog_;
+  const ServiceEvaluator* eval_;
+  std::vector<std::optional<FacilityServedSet>> cache_;
+  size_t collected_ = 0;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_COVER_SERVED_SETS_H_

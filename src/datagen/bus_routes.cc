@@ -1,0 +1,86 @@
+#include "datagen/bus_routes.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geom/distance.h"
+
+namespace tq {
+
+namespace {
+
+// Resamples `path` at even arc-length spacing into exactly `n` stops.
+std::vector<Point> ResampleStops(const std::vector<Point>& path, size_t n) {
+  TQ_CHECK(path.size() >= 2 && n >= 2);
+  const double total = PolylineLength(path);
+  std::vector<Point> stops;
+  stops.reserve(n);
+  const double step = total / static_cast<double>(n - 1);
+  double next_at = 0.0;
+  double walked = 0.0;
+  size_t seg = 0;
+  double seg_len = Distance(path[0], path[1]);
+  while (stops.size() < n) {
+    if (walked + seg_len >= next_at - 1e-9) {
+      const double t =
+          seg_len > 0.0 ? (next_at - walked) / seg_len : 0.0;
+      stops.push_back(Point{path[seg].x + t * (path[seg + 1].x - path[seg].x),
+                            path[seg].y +
+                                t * (path[seg + 1].y - path[seg].y)});
+      next_at += step;
+    } else {
+      walked += seg_len;
+      ++seg;
+      if (seg + 1 >= path.size()) {
+        while (stops.size() < n) stops.push_back(path.back());
+        break;
+      }
+      seg_len = Distance(path[seg], path[seg + 1]);
+    }
+  }
+  return stops;
+}
+
+}  // namespace
+
+TrajectorySet GenerateBusRoutes(const CityModel& city,
+                                const BusRouteOptions& options) {
+  TQ_CHECK(options.num_routes > 0);
+  TQ_CHECK(options.stops_per_route >= 2);
+  Rng rng(options.seed);
+  TrajectorySet routes;
+  routes.Reserve(options.num_routes, options.stops_per_route);
+
+  // Target route length: even spacing between stops.
+  const double target_len =
+      options.stop_spacing * static_cast<double>(options.stops_per_route - 1);
+
+  for (size_t r = 0; r < options.num_routes; ++r) {
+    // A corridor of hotspot waypoints long enough for the target length.
+    std::vector<Point> waypoints;
+    waypoints.push_back(city.SamplePoint(&rng));
+    double len = 0.0;
+    while (len < target_len) {
+      const Hotspot& h = city.hotspots()[city.SampleHotspot(&rng)];
+      Point next = city.SampleNear(h.center, h.sigma * 0.5, &rng);
+      // Bias toward nearby centres: reject hops longer than a quarter of
+      // the city diagonal half the time.
+      const double diag = std::hypot(city.extent().Width(),
+                                     city.extent().Height());
+      if (Distance(waypoints.back(), next) > 0.25 * diag &&
+          rng.NextBernoulli(0.5)) {
+        continue;
+      }
+      len += Distance(waypoints.back(), next);
+      waypoints.push_back(next);
+      if (waypoints.size() > 64) break;  // degenerate tiny hops
+    }
+    if (waypoints.size() < 2) waypoints.push_back(city.SamplePoint(&rng));
+    const std::vector<Point> stops =
+        ResampleStops(waypoints, options.stops_per_route);
+    routes.Add(stops);
+  }
+  return routes;
+}
+
+}  // namespace tq

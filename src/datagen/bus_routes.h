@@ -1,0 +1,25 @@
+// Facility generator: bus routes as stop-point sequences (Table I stand-in).
+#ifndef TQCOVER_DATAGEN_BUS_ROUTES_H_
+#define TQCOVER_DATAGEN_BUS_ROUTES_H_
+
+#include "datagen/city_model.h"
+#include "traj/dataset.h"
+
+namespace tq {
+
+struct BusRouteOptions {
+  size_t num_routes = 128;
+  size_t stops_per_route = 64;   // the paper's S parameter (8..512)
+  double stop_spacing = 400.0;   // metres between consecutive stops
+  uint64_t seed = 1;
+};
+
+/// Routes run between sequences of hotspots (as real bus lines connect
+/// activity centres) with stops resampled at even spacing, so each route has
+/// exactly `stops_per_route` stops.
+TrajectorySet GenerateBusRoutes(const CityModel& city,
+                                const BusRouteOptions& options);
+
+}  // namespace tq
+
+#endif  // TQCOVER_DATAGEN_BUS_ROUTES_H_

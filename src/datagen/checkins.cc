@@ -1,0 +1,53 @@
+#include "datagen/checkins.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace tq {
+
+TrajectorySet GenerateCheckins(const CityModel& city,
+                               const CheckinOptions& options) {
+  TQ_CHECK(options.num_pois > 0);
+  TQ_CHECK(options.min_checkins >= 1);
+  TQ_CHECK(options.max_checkins >= options.min_checkins);
+  Rng rng(options.seed);
+
+  // Venue universe, hotspot-clustered.
+  std::vector<Point> pois;
+  pois.reserve(options.num_pois);
+  for (size_t i = 0; i < options.num_pois; ++i) {
+    pois.push_back(city.SamplePoint(&rng));
+  }
+
+  TrajectorySet out;
+  out.Reserve(options.num_trajectories,
+              (options.min_checkins + options.max_checkins) / 2);
+  std::vector<Point> seq;
+  const double r2 = options.locality_radius * options.locality_radius;
+  for (size_t t = 0; t < options.num_trajectories; ++t) {
+    const size_t len = static_cast<size_t>(rng.NextInt(
+        static_cast<int64_t>(options.min_checkins),
+        static_cast<int64_t>(options.max_checkins)));
+    seq.clear();
+    size_t cur = rng.NextZipf(options.num_pois, options.zipf_popularity);
+    seq.push_back(pois[cur]);
+    while (seq.size() < len) {
+      // Popularity-biased pick, retried a few times for spatial locality.
+      size_t next = cur;
+      for (int attempt = 0; attempt < 32; ++attempt) {
+        next = rng.NextZipf(options.num_pois, options.zipf_popularity);
+        if (next != cur &&
+            DistanceSquared(pois[next], pois[cur]) <= r2) {
+          break;
+        }
+      }
+      seq.push_back(pois[next]);
+      cur = next;
+    }
+    out.Add(seq);
+  }
+  return out;
+}
+
+}  // namespace tq

@@ -1,0 +1,27 @@
+// User generator: multipoint check-in sequences (the NYF stand-in).
+#ifndef TQCOVER_DATAGEN_CHECKINS_H_
+#define TQCOVER_DATAGEN_CHECKINS_H_
+
+#include "datagen/city_model.h"
+#include "traj/dataset.h"
+
+namespace tq {
+
+struct CheckinOptions {
+  size_t num_trajectories = 50000;
+  size_t num_pois = 2000;        // venue universe
+  size_t min_checkins = 3;
+  size_t max_checkins = 10;
+  double zipf_popularity = 1.0;  // venue popularity skew
+  double locality_radius = 3000.0;  // next venue drawn near the current one
+  uint64_t seed = 3;
+};
+
+/// Each trajectory is a day of check-ins: venues drawn by Zipf popularity,
+/// with spatial locality (people hop between nearby venues).
+TrajectorySet GenerateCheckins(const CityModel& city,
+                               const CheckinOptions& options);
+
+}  // namespace tq
+
+#endif  // TQCOVER_DATAGEN_CHECKINS_H_

@@ -1,0 +1,61 @@
+#include "datagen/city_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tq {
+
+CityModel::CityModel(Rect extent, std::vector<Hotspot> hotspots)
+    : extent_(extent), hotspots_(std::move(hotspots)) {
+  TQ_CHECK(!hotspots_.empty());
+  double acc = 0.0;
+  cdf_.reserve(hotspots_.size());
+  for (const Hotspot& h : hotspots_) {
+    acc += h.weight;
+    cdf_.push_back(acc);
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+CityModel CityModel::Make(Rect extent, size_t num_hotspots, uint64_t seed) {
+  TQ_CHECK(num_hotspots > 0);
+  Rng rng(seed);
+  std::vector<Hotspot> spots;
+  spots.reserve(num_hotspots);
+  for (size_t i = 0; i < num_hotspots; ++i) {
+    Hotspot h;
+    h.center.x = rng.NextUniform(extent.min_x, extent.max_x);
+    h.center.y = rng.NextUniform(extent.min_y, extent.max_y);
+    h.sigma = rng.NextUniform(400.0, 2000.0);
+    // Zipf-like popularity: a handful of dominant centres, a long tail.
+    h.weight = 1.0 / std::pow(static_cast<double>(i + 1), 0.8);
+    spots.push_back(h);
+  }
+  return CityModel(extent, std::move(spots));
+}
+
+size_t CityModel::SampleHotspot(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+Point CityModel::Clamp(const Point& p) const {
+  return Point{std::clamp(p.x, extent_.min_x, extent_.max_x),
+               std::clamp(p.y, extent_.min_y, extent_.max_y)};
+}
+
+Point CityModel::SamplePoint(Rng* rng) const {
+  const Hotspot& h = hotspots_[SampleHotspot(rng)];
+  return SampleNear(h.center, h.sigma, rng);
+}
+
+Point CityModel::SampleNear(const Point& p, double sigma, Rng* rng) const {
+  return Clamp(Point{rng->NextGaussian(p.x, sigma),
+                     rng->NextGaussian(p.y, sigma)});
+}
+
+}  // namespace tq

@@ -1,0 +1,57 @@
+// Synthetic city model: a Gaussian-hotspot mixture over a metric extent.
+//
+// Stand-in for the spatial skew of the paper's real datasets (NYC taxi
+// pickups cluster in Manhattan; Geolife traces cluster around campuses). The
+// TQ-tree's wins come precisely from such clustering — co-located,
+// similarly-oriented trajectories — so the mixture is the property the
+// substitution must preserve (see DESIGN.md §3).
+#ifndef TQCOVER_DATAGEN_CITY_MODEL_H_
+#define TQCOVER_DATAGEN_CITY_MODEL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace tq {
+
+/// A weighted Gaussian activity centre.
+struct Hotspot {
+  Point center;
+  double sigma = 800.0;   // spread in metres
+  double weight = 1.0;
+};
+
+/// Immutable city: extent plus hotspot mixture.
+class CityModel {
+ public:
+  CityModel(Rect extent, std::vector<Hotspot> hotspots);
+
+  /// Deterministic city: `num_hotspots` centres placed by `seed`, Zipf
+  /// popularity weights, sigmas between 400 m and 2 km.
+  static CityModel Make(Rect extent, size_t num_hotspots, uint64_t seed);
+
+  const Rect& extent() const { return extent_; }
+  const std::vector<Hotspot>& hotspots() const { return hotspots_; }
+
+  /// Samples a location from the mixture, clamped into the extent.
+  Point SamplePoint(Rng* rng) const;
+
+  /// Samples near `p` with the given spread, clamped into the extent.
+  Point SampleNear(const Point& p, double sigma, Rng* rng) const;
+
+  /// Index of a hotspot drawn by weight.
+  size_t SampleHotspot(Rng* rng) const;
+
+  Point Clamp(const Point& p) const;
+
+ private:
+  Rect extent_;
+  std::vector<Hotspot> hotspots_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_DATAGEN_CITY_MODEL_H_

@@ -1,0 +1,45 @@
+#include "datagen/gps_traces.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tq {
+
+TrajectorySet GenerateGpsTraces(const CityModel& city,
+                                const GpsTraceOptions& options) {
+  TQ_CHECK(options.min_points >= 2);
+  TQ_CHECK(options.max_points >= options.min_points);
+  Rng rng(options.seed);
+  TrajectorySet out;
+  out.Reserve(options.num_traces,
+              (options.min_points + options.max_points) / 2);
+  std::vector<Point> trace;
+  for (size_t t = 0; t < options.num_traces; ++t) {
+    const size_t len = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(options.min_points),
+                    static_cast<int64_t>(options.max_points)));
+    trace.clear();
+    Point cur = city.SamplePoint(&rng);
+    double heading = rng.NextUniform(0.0, 2.0 * M_PI);
+    trace.push_back(cur);
+    while (trace.size() < len) {
+      heading += rng.NextGaussian(0.0, options.turn_sigma);
+      const double step = rng.NextUniform(options.min_step, options.max_step);
+      Point next{cur.x + step * std::cos(heading),
+                 cur.y + step * std::sin(heading)};
+      // Bounce off the city boundary by reversing heading.
+      if (!city.extent().Contains(next)) {
+        heading += M_PI;
+        next = city.Clamp(next);
+      }
+      trace.push_back(next);
+      cur = next;
+    }
+    out.Add(trace);
+  }
+  return out;
+}
+
+}  // namespace tq

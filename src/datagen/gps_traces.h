@@ -1,0 +1,27 @@
+// User generator: GPS movement traces (the BJG/Geolife stand-in).
+#ifndef TQCOVER_DATAGEN_GPS_TRACES_H_
+#define TQCOVER_DATAGEN_GPS_TRACES_H_
+
+#include "datagen/city_model.h"
+#include "traj/dataset.h"
+
+namespace tq {
+
+struct GpsTraceOptions {
+  size_t num_traces = 30000;
+  size_t min_points = 10;
+  size_t max_points = 60;
+  double min_step = 80.0;    // metres between consecutive fixes
+  double max_step = 250.0;
+  double turn_sigma = 0.5;   // radians of heading change per step
+  uint64_t seed = 4;
+};
+
+/// Heading-persistent random walks anchored at hotspots — long, dense
+/// multipoint trajectories like commuter GPS logs.
+TrajectorySet GenerateGpsTraces(const CityModel& city,
+                                const GpsTraceOptions& options);
+
+}  // namespace tq
+
+#endif  // TQCOVER_DATAGEN_GPS_TRACES_H_

@@ -1,0 +1,74 @@
+#include "datagen/presets.h"
+
+#include <cmath>
+
+namespace tq::presets {
+
+namespace {
+constexpr uint64_t kNySeed = 0x4E59ULL;        // "NY"
+constexpr uint64_t kBjSeed = 0x424AULL;        // "BJ"
+constexpr uint64_t kNytSeed = 0x4E5954ULL;     // "NYT"
+constexpr uint64_t kNyfSeed = 0x4E5946ULL;     // "NYF"
+constexpr uint64_t kBjgSeed = 0x424A47ULL;     // "BJG"
+constexpr uint64_t kNyBusSeed = 0x4E594255ULL;
+constexpr uint64_t kBjBusSeed = 0x424A4255ULL;
+}  // namespace
+
+CityModel NewYork() {
+  return CityModel::Make(Rect::Of(0, 0, 40000, 40000), 48, kNySeed);
+}
+
+CityModel Beijing() {
+  return CityModel::Make(Rect::Of(0, 0, 50000, 50000), 64, kBjSeed);
+}
+
+TrajectorySet NytTrips(size_t num_trips) {
+  TaxiTripOptions opt;
+  opt.num_trips = num_trips;
+  opt.seed = kNytSeed;
+  return GenerateTaxiTrips(NewYork(), opt);
+}
+
+TrajectorySet NyfCheckins(size_t num_trajectories) {
+  CheckinOptions opt;
+  opt.num_trajectories = num_trajectories;
+  opt.seed = kNyfSeed;
+  return GenerateCheckins(NewYork(), opt);
+}
+
+TrajectorySet BjgTraces(size_t num_traces) {
+  GpsTraceOptions opt;
+  opt.num_traces = num_traces;
+  opt.seed = kBjgSeed;
+  return GenerateGpsTraces(Beijing(), opt);
+}
+
+TrajectorySet NyBusRoutes(size_t num_routes, size_t stops_per_route) {
+  BusRouteOptions opt;
+  opt.num_routes = num_routes;
+  opt.stops_per_route = stops_per_route;
+  opt.seed = kNyBusSeed;
+  return GenerateBusRoutes(NewYork(), opt);
+}
+
+TrajectorySet BjBusRoutes(size_t num_routes, size_t stops_per_route) {
+  BusRouteOptions opt;
+  opt.num_routes = num_routes;
+  opt.stops_per_route = stops_per_route;
+  opt.seed = kBjBusSeed;
+  return GenerateBusRoutes(Beijing(), opt);
+}
+
+std::vector<size_t> NytUserSweep(double scale) {
+  // Table III: 12h / 1 day / 2 days / 3 days of NYC taxi trips.
+  const std::vector<size_t> full = {203308, 357139, 697796, 1032637};
+  std::vector<size_t> out;
+  out.reserve(full.size());
+  for (const size_t n : full) {
+    out.push_back(static_cast<size_t>(
+        std::max(1.0, std::round(static_cast<double>(n) * scale))));
+  }
+  return out;
+}
+
+}  // namespace tq::presets

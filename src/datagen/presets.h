@@ -1,0 +1,41 @@
+// Named dataset presets mirroring the paper's Tables I–II. All presets are
+// deterministic (fixed seeds) so experiments are reproducible bit-for-bit.
+#ifndef TQCOVER_DATAGEN_PRESETS_H_
+#define TQCOVER_DATAGEN_PRESETS_H_
+
+#include "datagen/bus_routes.h"
+#include "datagen/checkins.h"
+#include "datagen/city_model.h"
+#include "datagen/gps_traces.h"
+#include "datagen/taxi_trips.h"
+
+namespace tq::presets {
+
+/// 40 km × 40 km "New York"-like city, 48 hotspots.
+CityModel NewYork();
+
+/// 50 km × 50 km "Beijing"-like city, 64 hotspots.
+CityModel Beijing();
+
+/// NYT: point-to-point taxi trips (paper full scale: 1,032,637).
+TrajectorySet NytTrips(size_t num_trips);
+
+/// NYF: multipoint check-in trajectories (paper full scale: 212,751).
+TrajectorySet NyfCheckins(size_t num_trajectories);
+
+/// BJG: multipoint GPS traces (paper full scale: 30,266).
+TrajectorySet BjgTraces(size_t num_traces);
+
+/// NY bus routes (paper: 2,024 routes / 16,999 stops).
+TrajectorySet NyBusRoutes(size_t num_routes, size_t stops_per_route);
+
+/// Beijing bus routes (paper: 1,842 routes / 21,489 stops).
+TrajectorySet BjBusRoutes(size_t num_routes, size_t stops_per_route);
+
+/// Paper user-count sweep for NYT (0.5/1/2/3 days), scaled by `scale`
+/// (scale=1 reproduces Table III's 203308..1032637 row).
+std::vector<size_t> NytUserSweep(double scale);
+
+}  // namespace tq::presets
+
+#endif  // TQCOVER_DATAGEN_PRESETS_H_

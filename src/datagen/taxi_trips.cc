@@ -1,0 +1,34 @@
+#include "datagen/taxi_trips.h"
+
+#include <cmath>
+
+namespace tq {
+
+TrajectorySet GenerateTaxiTrips(const CityModel& city,
+                                const TaxiTripOptions& options) {
+  Rng rng(options.seed);
+  TrajectorySet trips;
+  trips.Reserve(options.num_trips, 2);
+  for (size_t i = 0; i < options.num_trips; ++i) {
+    const Point pickup = city.SamplePoint(&rng);
+    Point dropoff;
+    if (rng.NextBernoulli(options.local_trip_prob)) {
+      // Local ride: exponential trip length, uniform heading.
+      double u = rng.NextDouble();
+      if (u < 1e-12) u = 1e-12;
+      const double len = std::min(-std::log(u) * options.mean_trip_m,
+                                  8.0 * options.mean_trip_m);
+      const double heading = rng.NextUniform(0.0, 2.0 * M_PI);
+      dropoff = city.Clamp(Point{pickup.x + len * std::cos(heading),
+                                 pickup.y + len * std::sin(heading)});
+    } else {
+      // Cross-town hop between activity centres.
+      dropoff = city.SamplePoint(&rng);
+    }
+    const Point pts[2] = {pickup, dropoff};
+    trips.Add(pts);
+  }
+  return trips;
+}
+
+}  // namespace tq

@@ -1,0 +1,30 @@
+// User generator: point-to-point taxi trips (the NYT stand-in, Table II).
+#ifndef TQCOVER_DATAGEN_TAXI_TRIPS_H_
+#define TQCOVER_DATAGEN_TAXI_TRIPS_H_
+
+#include "datagen/city_model.h"
+#include "traj/dataset.h"
+
+namespace tq {
+
+struct TaxiTripOptions {
+  size_t num_trips = 100000;
+  /// Probability of a local trip (drop-off a few km from the pickup, like
+  /// most real taxi rides); the rest are cross-town hotspot-to-hotspot.
+  double local_trip_prob = 0.75;
+  /// Mean local trip distance in metres (exponential distribution).
+  double mean_trip_m = 3000.0;
+  uint64_t seed = 2;
+};
+
+/// Two-point trajectories: pickup from the hotspot mixture; drop-off mostly
+/// a short exponential hop away (real taxi trips are kilometres, not city
+/// diameters), with a cross-town tail. Short trips sink deep into the
+/// TQ-tree; the tail populates the upper inter-node lists — the length mix
+/// §III's hierarchy is designed around.
+TrajectorySet GenerateTaxiTrips(const CityModel& city,
+                                const TaxiTripOptions& options);
+
+}  // namespace tq
+
+#endif  // TQCOVER_DATAGEN_TAXI_TRIPS_H_

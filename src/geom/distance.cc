@@ -1,0 +1,21 @@
+#include "geom/distance.h"
+
+namespace tq {
+
+bool WithinPsiOfAny(const Point& p, std::span<const Point> stops, double psi) {
+  const double psi2 = psi * psi;
+  for (const Point& s : stops) {
+    if (DistanceSquared(p, s) <= psi2) return true;
+  }
+  return false;
+}
+
+double PolylineLength(std::span<const Point> points) {
+  double len = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    len += Distance(points[i - 1], points[i]);
+  }
+  return len;
+}
+
+}  // namespace tq

@@ -1,0 +1,26 @@
+// Distance helpers shared by service evaluation and index pruning.
+#ifndef TQCOVER_GEOM_DISTANCE_H_
+#define TQCOVER_GEOM_DISTANCE_H_
+
+#include <span>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace tq {
+
+/// True iff `p` is within `psi` of at least one point in `stops`.
+/// Linear scan — used by tests and tiny inputs; hot paths use StopGrid.
+bool WithinPsiOfAny(const Point& p, std::span<const Point> stops, double psi);
+
+/// Total polyline length of a point sequence (sum of segment lengths).
+double PolylineLength(std::span<const Point> points);
+
+/// True iff the disk of radius `psi` centred at `p` intersects `r`.
+inline bool DiskIntersectsRect(const Point& p, double psi, const Rect& r) {
+  return MinDistance(r, p) <= psi;
+}
+
+}  // namespace tq
+
+#endif  // TQCOVER_GEOM_DISTANCE_H_

@@ -1,0 +1,34 @@
+// 2-D point in a local projected frame (metres).
+#ifndef TQCOVER_GEOM_POINT_H_
+#define TQCOVER_GEOM_POINT_H_
+
+#include <cmath>
+
+namespace tq {
+
+/// Planar point. Coordinates are metres in a city-local projection; all
+/// distance thresholds (ψ) are in the same unit.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& o) const = default;
+};
+
+/// Euclidean distance.
+inline double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt on hot comparison paths).
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace tq
+
+#endif  // TQCOVER_GEOM_POINT_H_

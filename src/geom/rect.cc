@@ -1,0 +1,33 @@
+#include "geom/rect.h"
+
+namespace tq {
+
+Rect Rect::BoundingBox(std::span<const Point> points) {
+  Rect r = Rect::Empty();
+  for (const Point& p : points) r.Include(p);
+  return r;
+}
+
+Rect Rect::Quadrant(int q) const {
+  const Point c = Center();
+  switch (q & 3) {
+    case 0:
+      return Rect{min_x, min_y, c.x, c.y};  // SW
+    case 1:
+      return Rect{c.x, min_y, max_x, c.y};  // SE
+    case 2:
+      return Rect{min_x, c.y, c.x, max_y};  // NW
+    default:
+      return Rect{c.x, c.y, max_x, max_y};  // NE
+  }
+}
+
+double MinDistance(const Rect& r, const Point& p) {
+  const double dx =
+      p.x < r.min_x ? r.min_x - p.x : (p.x > r.max_x ? p.x - r.max_x : 0.0);
+  const double dy =
+      p.y < r.min_y ? r.min_y - p.y : (p.y > r.max_y ? p.y - r.max_y : 0.0);
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace tq

@@ -1,0 +1,93 @@
+// Axis-aligned rectangle; the building block for quadtree cells, MBRs and
+// EMBRs (ψ-extended MBRs, §IV-A of the paper).
+#ifndef TQCOVER_GEOM_RECT_H_
+#define TQCOVER_GEOM_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geom/point.h"
+
+namespace tq {
+
+/// Closed axis-aligned rectangle [min_x, max_x] × [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  static Rect Of(double min_x, double min_y, double max_x, double max_y) {
+    return Rect{min_x, min_y, max_x, max_y};
+  }
+
+  /// An "empty" rectangle that unions as the identity element.
+  static Rect Empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return Rect{inf, inf, -inf, -inf};
+  }
+
+  /// Minimum bounding rectangle of a point sequence.
+  static Rect BoundingBox(std::span<const Point> points);
+
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+  Point Center() const { return Point{(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool ContainsRect(const Rect& r) const {
+    return r.min_x >= min_x && r.max_x <= max_x && r.min_y >= min_y &&
+           r.max_y <= max_y;
+  }
+
+  bool Intersects(const Rect& r) const {
+    return !(r.min_x > max_x || r.max_x < min_x || r.min_y > max_y ||
+             r.max_y < min_y);
+  }
+
+  /// Smallest rectangle containing both.
+  Rect UnionWith(const Rect& r) const {
+    return Rect{std::min(min_x, r.min_x), std::min(min_y, r.min_y),
+                std::max(max_x, r.max_x), std::max(max_y, r.max_y)};
+  }
+
+  /// Grows the rectangle by `margin` on every side. This is the paper's EMBR:
+  /// the ψ-extended MBR enclosing the serving area of a facility component.
+  Rect Expanded(double margin) const {
+    return Rect{min_x - margin, min_y - margin, max_x + margin,
+                max_y + margin};
+  }
+
+  /// Extends to include a point.
+  void Include(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Quadrant `q` (Morton order: 0 = SW, 1 = SE, 2 = NW, 3 = NE) of this
+  /// rectangle when split at its centre. Matches zorder cell numbering.
+  Rect Quadrant(int q) const;
+
+  /// Index of the quadrant containing `p` (Morton order, ties go to the
+  /// higher quadrant so a point on the split line lands in exactly one cell).
+  int QuadrantOf(const Point& p) const {
+    const Point c = Center();
+    return (p.x >= c.x ? 1 : 0) | (p.y >= c.y ? 2 : 0);
+  }
+
+  bool operator==(const Rect& o) const = default;
+};
+
+/// Minimum distance from a point to a rectangle (0 when inside).
+double MinDistance(const Rect& r, const Point& p);
+
+}  // namespace tq
+
+#endif  // TQCOVER_GEOM_RECT_H_

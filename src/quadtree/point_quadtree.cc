@@ -1,0 +1,110 @@
+#include "quadtree/point_quadtree.h"
+
+#include "common/check.h"
+
+namespace tq {
+
+PointQuadtree::PointQuadtree(const Rect& world, size_t leaf_capacity,
+                             int max_depth)
+    : leaf_capacity_(leaf_capacity), max_depth_(max_depth) {
+  TQ_CHECK(leaf_capacity > 0);
+  nodes_.push_back(Node{world, -1, {}});
+}
+
+void PointQuadtree::Insert(const PointEntry& entry) {
+  InsertInto(0, entry, 0);
+  ++size_;
+}
+
+void PointQuadtree::InsertAll(const TrajectorySet& set) {
+  for (uint32_t id = 0; id < set.size(); ++id) {
+    const auto pts = set.points(id);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      Insert(PointEntry{pts[i], id, static_cast<uint32_t>(i)});
+    }
+  }
+}
+
+void PointQuadtree::InsertInto(int32_t node_index, const PointEntry& entry,
+                               int depth) {
+  for (;;) {
+    Node& n = nodes_[static_cast<size_t>(node_index)];
+    if (n.IsLeaf()) {
+      if (n.entries.size() < leaf_capacity_ || depth >= max_depth_) {
+        n.entries.push_back(entry);
+        return;
+      }
+      Split(node_index);
+      continue;  // re-read the node: it is internal now
+    }
+    node_index = n.first_child + n.rect.QuadrantOf(entry.p);
+    ++depth;
+  }
+}
+
+void PointQuadtree::Split(int32_t node_index) {
+  const auto first = static_cast<int32_t>(nodes_.size());
+  {
+    const Rect rect = nodes_[static_cast<size_t>(node_index)].rect;
+    for (int q = 0; q < 4; ++q) {
+      nodes_.push_back(Node{rect.Quadrant(q), -1, {}});
+    }
+  }
+  Node& n = nodes_[static_cast<size_t>(node_index)];
+  n.first_child = first;
+  std::vector<PointEntry> moved;
+  moved.swap(n.entries);
+  for (const PointEntry& e : moved) {
+    const int q = nodes_[static_cast<size_t>(node_index)].rect.QuadrantOf(e.p);
+    nodes_[static_cast<size_t>(first + q)].entries.push_back(e);
+  }
+}
+
+void PointQuadtree::ForEachInDisk(
+    const Point& center, double radius,
+    const std::function<void(const PointEntry&)>& fn) const {
+  const double r2 = radius * radius;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    if (MinDistance(n.rect, center) > radius) continue;
+    if (n.IsLeaf()) {
+      for (const PointEntry& e : n.entries) {
+        if (DistanceSquared(e.p, center) <= r2) fn(e);
+      }
+    } else {
+      for (int q = 0; q < 4; ++q) stack.push_back(n.first_child + q);
+    }
+  }
+}
+
+std::vector<PointEntry> PointQuadtree::DiskQuery(const Point& center,
+                                                 double radius) const {
+  std::vector<PointEntry> out;
+  ForEachInDisk(center, radius,
+                [&out](const PointEntry& e) { out.push_back(e); });
+  return out;
+}
+
+std::vector<PointEntry> PointQuadtree::RangeQuery(const Rect& range) const {
+  std::vector<PointEntry> out;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    if (!n.rect.Intersects(range)) continue;
+    if (n.IsLeaf()) {
+      for (const PointEntry& e : n.entries) {
+        if (range.Contains(e.p)) out.push_back(e);
+      }
+    } else {
+      for (int q = 0; q < 4; ++q) stack.push_back(n.first_child + q);
+    }
+  }
+  return out;
+}
+
+}  // namespace tq

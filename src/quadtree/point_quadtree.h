@@ -1,0 +1,68 @@
+// Classic point quadtree over trajectory points — the "traditional index"
+// used by the paper's baseline (BL, §VI): every point of every user
+// trajectory is inserted with its (trajectory, point-index) payload, and
+// facilities retrieve served points through ψ-disk range queries.
+#ifndef TQCOVER_QUADTREE_POINT_QUADTREE_H_
+#define TQCOVER_QUADTREE_POINT_QUADTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "traj/dataset.h"
+
+namespace tq {
+
+/// Payload of one indexed point.
+struct PointEntry {
+  Point p;
+  uint32_t traj_id = 0;
+  uint32_t point_index = 0;
+};
+
+/// Bucket point quadtree with configurable leaf capacity.
+class PointQuadtree {
+ public:
+  explicit PointQuadtree(const Rect& world, size_t leaf_capacity = 64,
+                         int max_depth = 24);
+
+  void Insert(const PointEntry& entry);
+
+  /// Inserts every point of every trajectory in `set`.
+  void InsertAll(const TrajectorySet& set);
+
+  size_t size() const { return size_; }
+
+  /// Invokes `fn` for every entry within `radius` of `center` (exact
+  /// Euclidean test after rectangle pruning).
+  void ForEachInDisk(const Point& center, double radius,
+                     const std::function<void(const PointEntry&)>& fn) const;
+
+  /// Collects entries within `radius` of `center`.
+  std::vector<PointEntry> DiskQuery(const Point& center, double radius) const;
+
+  /// Collects entries inside `range`.
+  std::vector<PointEntry> RangeQuery(const Rect& range) const;
+
+ private:
+  struct Node {
+    Rect rect;
+    int32_t first_child = -1;  // children contiguous; -1 = leaf
+    std::vector<PointEntry> entries;
+    bool IsLeaf() const { return first_child < 0; }
+  };
+
+  void InsertInto(int32_t node_index, const PointEntry& entry, int depth);
+  void Split(int32_t node_index);
+
+  std::vector<Node> nodes_;
+  size_t leaf_capacity_;
+  int max_depth_;
+  size_t size_ = 0;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_QUADTREE_POINT_QUADTREE_H_

@@ -1,0 +1,135 @@
+#include "query/baseline.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace tq {
+
+namespace {
+
+// The paper's gather: one range query over the facility EMBR; every user
+// with a point inside becomes a candidate. Templated over the point index
+// (quadtree or R-tree) — both expose RangeQuery.
+template <typename Index>
+std::vector<uint32_t> GatherCandidates(const Index& index,
+                                       const StopGrid& grid,
+                                       QueryStats* stats) {
+  std::unordered_set<uint32_t> seen;
+  const std::vector<PointEntry> hits = index.RangeQuery(grid.embr());
+  if (stats != nullptr) stats->entries_scanned += hits.size();
+  for (const PointEntry& e : hits) seen.insert(e.traj_id);
+  std::vector<uint32_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Near-minimal gather: ψ-disk probes around every stop.
+std::vector<uint32_t> GatherCandidatesDisks(const PointQuadtree& index,
+                                            const StopGrid& grid,
+                                            QueryStats* stats) {
+  std::unordered_set<uint32_t> seen;
+  for (const Point& stop : grid.stops()) {
+    index.ForEachInDisk(stop, grid.psi(), [&](const PointEntry& e) {
+      if (stats != nullptr) stats->entries_scanned++;
+      seen.insert(e.traj_id);
+    });
+  }
+  std::vector<uint32_t> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double ScoreCandidates(const std::vector<uint32_t>& candidates,
+                       const ServiceEvaluator& eval, const StopGrid& grid,
+                       QueryStats* stats) {
+  double so = 0.0;
+  for (const uint32_t user : candidates) {
+    if (stats != nullptr) stats->exact_checks++;
+    so += eval.Evaluate(user, grid);
+  }
+  return so;
+}
+
+}  // namespace
+
+double EvaluateServiceBaseline(const PointQuadtree& index,
+                               const ServiceEvaluator& eval,
+                               const StopGrid& grid, QueryStats* stats) {
+  return ScoreCandidates(GatherCandidates(index, grid, stats), eval, grid,
+                         stats);
+}
+
+double EvaluateServiceBaselineDisks(const PointQuadtree& index,
+                                    const ServiceEvaluator& eval,
+                                    const StopGrid& grid,
+                                    QueryStats* stats) {
+  return ScoreCandidates(GatherCandidatesDisks(index, grid, stats), eval,
+                         grid, stats);
+}
+
+TopKResult TopKFacilitiesBaseline(const PointQuadtree& index,
+                                  const FacilityCatalog& catalog,
+                                  const ServiceEvaluator& eval, size_t k) {
+  TopKResult result;
+  std::vector<RankedFacility> all(catalog.size());
+  for (uint32_t f = 0; f < catalog.size(); ++f) {
+    all[f].id = f;
+    all[f].value =
+        EvaluateServiceBaseline(index, eval, catalog.grid(f), &result.stats);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RankedFacility& a, const RankedFacility& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.id < b.id;
+            });
+  all.resize(std::min(k, all.size()));
+  result.ranked = std::move(all);
+  return result;
+}
+
+double EvaluateServiceBaselineRTree(const PointRTree& index,
+                                    const ServiceEvaluator& eval,
+                                    const StopGrid& grid, QueryStats* stats) {
+  return ScoreCandidates(GatherCandidates(index, grid, stats), eval, grid,
+                         stats);
+}
+
+TopKResult TopKFacilitiesBaselineRTree(const PointRTree& index,
+                                       const FacilityCatalog& catalog,
+                                       const ServiceEvaluator& eval,
+                                       size_t k) {
+  TopKResult result;
+  std::vector<RankedFacility> all(catalog.size());
+  for (uint32_t f = 0; f < catalog.size(); ++f) {
+    all[f].id = f;
+    all[f].value = EvaluateServiceBaselineRTree(index, eval, catalog.grid(f),
+                                                &result.stats);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RankedFacility& a, const RankedFacility& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.id < b.id;
+            });
+  all.resize(std::min(k, all.size()));
+  result.ranked = std::move(all);
+  return result;
+}
+
+void CollectServedBaseline(const PointQuadtree& index,
+                           const ServiceEvaluator& eval, const StopGrid& grid,
+                           std::unordered_map<uint32_t, DynamicBitset>* out) {
+  const std::vector<uint32_t> candidates =
+      GatherCandidates(index, grid, nullptr);
+  for (const uint32_t user : candidates) {
+    ServeDetail d = eval.EvaluateDetail(user, grid);
+    if (!d.Any()) continue;
+    auto it = out->find(user);
+    if (it == out->end()) {
+      out->emplace(user, std::move(d.mask));
+    } else {
+      it->second.UnionWith(d.mask);
+    }
+  }
+}
+
+}  // namespace tq

@@ -1,0 +1,253 @@
+#include "query/eval_service.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "geom/distance.h"
+
+namespace tq {
+
+Component FullComponent(const StopGrid& grid) {
+  Component comp(grid.stops().size());
+  std::iota(comp.begin(), comp.end(), 0u);
+  return comp;
+}
+
+Component ClipComponent(const StopGrid& grid, const Component& comp,
+                        const Rect& rect) {
+  Component out;
+  const auto stops = grid.stops();
+  const double psi = grid.psi();
+  for (const uint32_t si : comp) {
+    if (DiskIntersectsRect(stops[si], psi, rect)) out.push_back(si);
+  }
+  return out;
+}
+
+Rect ComponentEmbr(const StopGrid& grid, const Component& comp) {
+  Rect mbr = Rect::Empty();
+  const auto stops = grid.stops();
+  for (const uint32_t si : comp) mbr.Include(stops[si]);
+  return mbr.Expanded(grid.psi());
+}
+
+std::vector<Point> ComponentStops(const StopGrid& grid,
+                                  const Component& comp) {
+  std::vector<Point> out;
+  out.reserve(comp.size());
+  const auto stops = grid.stops();
+  for (const uint32_t si : comp) out.push_back(stops[si]);
+  return out;
+}
+
+namespace {
+
+// Applies `fn` to every entry of node `idx`'s list that survives pruning
+// against the facility component's serving corridor. This is the zReduce
+// step for TQ(Z) trees and the plain linear scan for TQ(B). `zmode_override`
+// weakens kStartEnd filtering for served-set collection (see
+// ZIndex::ForEachCandidate).
+template <typename Fn>
+void VisitCandidates(TQTree* tree, int32_t idx,
+                     const ZIndex::Corridor& corridor, Fn&& fn,
+                     QueryStats* stats,
+                     std::optional<ZPruneMode> zmode_override = std::nullopt) {
+  const TQNode& node = tree->node(idx);
+  if (node.entries.empty()) return;
+  if (stats != nullptr) stats->lists_evaluated++;
+  const Rect& comp_embr = corridor.embr;
+  const ZIndex* zi = tree->zindex(idx);
+  if (zi != nullptr) {
+    ZIndex::ReduceStats rs;
+    zi->ForEachCandidate(
+        corridor,
+        [&](uint32_t entry_index) {
+          if (stats != nullptr) stats->exact_checks++;
+          fn(node.entries[entry_index]);
+        },
+        stats != nullptr ? &rs : nullptr, zmode_override);
+    if (stats != nullptr) {
+      stats->zreduce.buckets_total += rs.buckets_total;
+      stats->zreduce.buckets_visited += rs.buckets_visited;
+      stats->zreduce.entries_scanned += rs.entries_scanned;
+      stats->zreduce.candidates += rs.candidates;
+      stats->entries_scanned += rs.entries_scanned;
+    }
+    return;
+  }
+  // TQ(B): flat list scan (the paper's "linear list" variant).
+  const bool precheck = tree->options().basic_entry_mbr_precheck;
+  for (const TrajEntry& e : node.entries) {
+    if (stats != nullptr) stats->entries_scanned++;
+    if (precheck && !e.mbr.Intersects(comp_embr)) continue;
+    if (stats != nullptr) stats->exact_checks++;
+    fn(e);
+  }
+}
+
+// Exact per-entry service fold shared by value evaluation and served-set
+// collection. `on_whole(traj)` handles a whole-trajectory unit; the
+// mark callbacks handle segment units.
+struct EntrySink {
+  const ServiceEvaluator* eval;
+  const StopGrid* grid;
+  ServiceAccumulator* acc;  // segmented mode only
+  double value = 0.0;
+
+  void operator()(const TrajEntry& e) {
+    if (e.IsWhole()) {
+      if (acc == nullptr) {
+        value += eval->Evaluate(e.traj_id, *grid);
+      } else if (eval->model().scenario != Scenario::kLength &&
+                 grid->Serves(e.start)) {
+        // Segmented trees store single-point trajectories as whole units;
+        // their value must flow through the accumulator like everything
+        // else in the segmented pipeline.
+        acc->MarkPoint(e.traj_id, 0);
+      }
+      return;
+    }
+    // Segment unit: credit each served constituent once via the accumulator.
+    if (eval->model().scenario == Scenario::kLength) {
+      if (grid->Serves(e.start) && grid->Serves(e.end)) {
+        acc->MarkSegment(e.traj_id, e.seg_index);
+      }
+    } else {
+      if (grid->Serves(e.start)) acc->MarkPoint(e.traj_id, e.seg_index);
+      if (grid->Serves(e.end)) acc->MarkPoint(e.traj_id, e.seg_index + 1);
+    }
+  }
+};
+
+double EvaluateServiceRec(TQTree* tree, int32_t idx,
+                          const ServiceEvaluator& eval, const StopGrid& grid,
+                          const Component& comp, ServiceAccumulator* acc,
+                          QueryStats* stats) {
+  if (comp.empty()) return 0.0;  // Alg. 1 line 1.2
+  if (stats != nullptr) stats->nodes_visited++;
+  double so = 0.0;
+  const TQNode& node = tree->node(idx);
+  if (!node.IsLeaf()) {
+    for (int q = 0; q < 4; ++q) {
+      const int32_t child = node.first_child + q;
+      if (tree->node(child).sub <= 0.0) continue;  // empty subtree
+      const Component child_comp =
+          ClipComponent(grid, comp, tree->node(child).rect);
+      so += EvaluateServiceRec(tree, child, eval, grid, child_comp, acc,
+                               stats);
+    }
+  }
+  so += EvaluateNodeList(tree, idx, eval, grid, comp, acc, stats);
+  return so;
+}
+
+}  // namespace
+
+double EvaluateNodeList(TQTree* tree, int32_t idx,
+                        const ServiceEvaluator& eval, const StopGrid& grid,
+                        const Component& comp, ServiceAccumulator* acc,
+                        QueryStats* stats) {
+  if (comp.empty() || tree->node(idx).entries.empty()) return 0.0;
+  TQ_DCHECK(tree->options().mode == TrajMode::kWhole || acc != nullptr);
+  // Scratch reused across calls; safe because the recursion only builds the
+  // corridor after returning from child subtrees.
+  static thread_local std::vector<Point> comp_stops;
+  comp_stops.clear();
+  for (const uint32_t si : comp) comp_stops.push_back(grid.stops()[si]);
+  const ZIndex::Corridor corridor{
+      comp_stops, grid.psi(),
+      Rect::BoundingBox(comp_stops).Expanded(grid.psi())};
+  EntrySink sink{&eval, &grid, acc, 0.0};
+  VisitCandidates(tree, idx, corridor, std::ref(sink), stats);
+  return sink.value;
+}
+
+double EvaluateServiceTQ(TQTree* tree, const ServiceEvaluator& eval,
+                         const StopGrid& grid, QueryStats* stats) {
+  const Component full = FullComponent(grid);
+  if (tree->options().mode == TrajMode::kSegmented) {
+    ServiceAccumulator acc(&eval);
+    EvaluateServiceRec(tree, tree->root(), eval, grid, full, &acc, stats);
+    return acc.Total();
+  }
+  return EvaluateServiceRec(tree, tree->root(), eval, grid, full, nullptr,
+                            stats);
+}
+
+namespace {
+
+// Served-set gathering visitor: unions each candidate's ServeDetail.
+void CollectServedRec(TQTree* tree, int32_t idx, const ServiceEvaluator& eval,
+                      const StopGrid& grid, const Component& comp,
+                      std::unordered_map<uint32_t, DynamicBitset>* out,
+                      QueryStats* stats) {
+  if (comp.empty()) return;
+  if (stats != nullptr) stats->nodes_visited++;
+  const TQNode& node = tree->node(idx);
+  if (!node.IsLeaf()) {
+    for (int q = 0; q < 4; ++q) {
+      const int32_t child = node.first_child + q;
+      if (tree->node(child).sub <= 0.0) continue;
+      const Component child_comp =
+          ClipComponent(grid, comp, tree->node(child).rect);
+      CollectServedRec(tree, child, eval, grid, child_comp, out, stats);
+    }
+  }
+  if (node.entries.empty()) return;
+  // Lemma 1: a user whose source alone is served still matters for combined
+  // coverage, so the AND filter (exact for SO evaluation under Scenario 1)
+  // must weaken to OR when gathering served sets.
+  std::optional<ZPruneMode> zmode_override;
+  if (tree->prune_mode() == ZPruneMode::kStartEnd &&
+      eval.model().scenario == Scenario::kEndpoints) {
+    zmode_override = ZPruneMode::kStartOrEnd;
+  }
+  static thread_local std::vector<Point> comp_stops;
+  comp_stops.clear();
+  for (const uint32_t si : comp) comp_stops.push_back(grid.stops()[si]);
+  const ZIndex::Corridor corridor{
+      comp_stops, grid.psi(),
+      Rect::BoundingBox(comp_stops).Expanded(grid.psi())};
+  VisitCandidates(
+      tree, idx, corridor,
+      [&](const TrajEntry& e) {
+        auto mask_for = [&](uint32_t user) -> DynamicBitset& {
+          auto it = out->find(user);
+          if (it == out->end()) {
+            it = out->emplace(user, DynamicBitset(eval.MaskSize(user))).first;
+          }
+          return it->second;
+        };
+        if (e.IsWhole()) {
+          ServeDetail d = eval.EvaluateDetail(e.traj_id, grid);
+          if (d.Any()) mask_for(e.traj_id).UnionWith(d.mask);
+          return;
+        }
+        if (eval.model().scenario == Scenario::kLength) {
+          if (grid.Serves(e.start) && grid.Serves(e.end)) {
+            mask_for(e.traj_id).Set(e.seg_index);
+          }
+        } else {
+          const bool s = grid.Serves(e.start);
+          const bool t = grid.Serves(e.end);
+          if (s || t) {
+            DynamicBitset& m = mask_for(e.traj_id);
+            if (s) m.Set(e.seg_index);
+            if (t) m.Set(e.seg_index + 1);
+          }
+        }
+      },
+      stats, zmode_override);
+}
+
+}  // namespace
+
+void CollectServedTQ(TQTree* tree, const ServiceEvaluator& eval,
+                     const StopGrid& grid,
+                     std::unordered_map<uint32_t, DynamicBitset>* out,
+                     QueryStats* stats) {
+  const Component full = FullComponent(grid);
+  CollectServedRec(tree, tree->root(), eval, grid, full, out, stats);
+}
+
+}  // namespace tq

@@ -1,0 +1,65 @@
+// Algorithms 1 & 2 of the paper: divide-and-conquer service-value evaluation
+// over the TQ-tree, with the two-phase pruning (q-node pruning + zReduce).
+#ifndef TQCOVER_QUERY_EVAL_SERVICE_H_
+#define TQCOVER_QUERY_EVAL_SERVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dynamic_bitset.h"
+#include "query/query_stats.h"
+#include "service/accumulator.h"
+#include "service/evaluator.h"
+#include "service/stop_grid.h"
+#include "tqtree/tq_tree.h"
+
+namespace tq {
+
+/// A facility component: indices of the facility's stop points that are
+/// relevant to the current subspace (the paper's f, f_c after division).
+using Component = std::vector<uint32_t>;
+
+/// Component containing every stop of the facility.
+Component FullComponent(const StopGrid& grid);
+
+/// The paper's intersectingComponents: stops of `comp` whose ψ-disk
+/// intersects `rect` (i.e. that can serve some point inside `rect`).
+Component ClipComponent(const StopGrid& grid, const Component& comp,
+                        const Rect& rect);
+
+/// EMBR of the component: MBR of its stops expanded by ψ (§IV-A).
+Rect ComponentEmbr(const StopGrid& grid, const Component& comp);
+
+/// Materialises the component's stop coordinates (the corridor zReduce
+/// covers cells against).
+std::vector<Point> ComponentStops(const StopGrid& grid,
+                                  const Component& comp);
+
+/// Algorithm 2 (evaluateNodeTrajectories): service contribution of node
+/// `idx`'s own list UL for the facility component `comp`.
+///
+/// Whole-trajectory trees return the summed S(u, f) directly (each user is
+/// stored exactly once, so summation is safe). Segmented trees mark served
+/// points/segments into `acc` (deduplication across nodes) and return 0;
+/// read the running total from the accumulator.
+double EvaluateNodeList(TQTree* tree, int32_t idx,
+                        const ServiceEvaluator& eval, const StopGrid& grid,
+                        const Component& comp, ServiceAccumulator* acc,
+                        QueryStats* stats);
+
+/// Algorithm 1 (evaluateService): SO(U, f) by recursive division of the
+/// facility over the TQ-tree, starting from the root.
+double EvaluateServiceTQ(TQTree* tree, const ServiceEvaluator& eval,
+                         const StopGrid& grid, QueryStats* stats = nullptr);
+
+/// Same traversal, but collects each served user's ServeDetail mask instead
+/// of a value (the per-facility served sets that MaxkCovRST consumes).
+void CollectServedTQ(TQTree* tree, const ServiceEvaluator& eval,
+                     const StopGrid& grid,
+                     std::unordered_map<uint32_t, DynamicBitset>* out,
+                     QueryStats* stats = nullptr);
+
+}  // namespace tq
+
+#endif  // TQCOVER_QUERY_EVAL_SERVICE_H_

@@ -1,0 +1,160 @@
+#include "rtree/point_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tq {
+
+std::vector<std::pair<uint32_t, uint32_t>> PointRTree::Slabs(
+    size_t count, size_t capacity) {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  for (size_t begin = 0; begin < count; begin += capacity) {
+    out.emplace_back(static_cast<uint32_t>(begin),
+                     static_cast<uint32_t>(std::min(begin + capacity,
+                                                    count)));
+  }
+  return out;
+}
+
+PointRTree::PointRTree(std::vector<PointEntry> entries, size_t leaf_capacity,
+                       size_t fanout)
+    : entries_(std::move(entries)) {
+  TQ_CHECK(leaf_capacity > 0 && fanout > 1);
+  if (entries_.empty()) {
+    nodes_.push_back(Node{Rect::Empty(), 0, 0, true});
+    root_ = 0;
+    height_ = 1;
+    return;
+  }
+
+  // STR leaf packing: sort by x; cut into √(n/c) vertical slices; sort each
+  // slice by y; chunk into leaves of ≤ leaf_capacity.
+  const size_t n = entries_.size();
+  const auto num_leaves =
+      static_cast<size_t>(std::ceil(static_cast<double>(n) /
+                                    static_cast<double>(leaf_capacity)));
+  const auto slices = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slice_size =
+      (n + slices - 1) / slices;
+
+  std::sort(entries_.begin(), entries_.end(),
+            [](const PointEntry& a, const PointEntry& b) {
+              return a.p.x < b.p.x;
+            });
+  for (size_t begin = 0; begin < n; begin += slice_size) {
+    const size_t end = std::min(begin + slice_size, n);
+    std::sort(entries_.begin() + static_cast<std::ptrdiff_t>(begin),
+              entries_.begin() + static_cast<std::ptrdiff_t>(end),
+              [](const PointEntry& a, const PointEntry& b) {
+                return a.p.y < b.p.y;
+              });
+  }
+
+  // Leaves.
+  std::vector<int32_t> level;
+  for (size_t begin = 0; begin < n; begin += leaf_capacity) {
+    const size_t end = std::min(begin + leaf_capacity, n);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.begin = static_cast<uint32_t>(begin);
+    leaf.end = static_cast<uint32_t>(end);
+    for (size_t i = begin; i < end; ++i) leaf.mbr.Include(entries_[i].p);
+    level.push_back(static_cast<int32_t>(nodes_.size()));
+    nodes_.push_back(leaf);
+  }
+  height_ = 1;
+
+  // Pack upward until a single root remains. Children of one parent are
+  // contiguous in nodes_ because each level is appended in order.
+  while (level.size() > 1) {
+    std::vector<int32_t> parents;
+    for (const auto& [begin, end] : Slabs(level.size(), fanout)) {
+      Node parent;
+      parent.leaf = false;
+      parent.begin = static_cast<uint32_t>(level[begin]);
+      parent.end = static_cast<uint32_t>(level[end - 1] + 1);
+      for (uint32_t c = begin; c < end; ++c) {
+        parent.mbr = parent.mbr.UnionWith(
+            nodes_[static_cast<size_t>(level[c])].mbr);
+      }
+      parents.push_back(static_cast<int32_t>(nodes_.size()));
+      nodes_.push_back(parent);
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+PointRTree PointRTree::FromTrajectories(const TrajectorySet& set,
+                                        size_t leaf_capacity, size_t fanout) {
+  std::vector<PointEntry> entries;
+  entries.reserve(set.TotalPoints());
+  for (uint32_t id = 0; id < set.size(); ++id) {
+    const auto pts = set.points(id);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      entries.push_back(PointEntry{pts[i], id, static_cast<uint32_t>(i)});
+    }
+  }
+  return PointRTree(std::move(entries), leaf_capacity, fanout);
+}
+
+const Rect& PointRTree::bounds() const {
+  return nodes_[static_cast<size_t>(root_)].mbr;
+}
+
+void PointRTree::ForEachInDisk(
+    const Point& center, double radius,
+    const std::function<void(const PointEntry&)>& fn) const {
+  if (entries_.empty()) return;
+  const double r2 = radius * radius;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (MinDistance(n.mbr, center) > radius) continue;
+    if (n.leaf) {
+      for (uint32_t i = n.begin; i < n.end; ++i) {
+        if (DistanceSquared(entries_[i].p, center) <= r2) fn(entries_[i]);
+      }
+    } else {
+      for (uint32_t c = n.begin; c < n.end; ++c) {
+        stack.push_back(static_cast<int32_t>(c));
+      }
+    }
+  }
+}
+
+std::vector<PointEntry> PointRTree::RangeQuery(const Rect& range) const {
+  std::vector<PointEntry> out;
+  if (entries_.empty()) return out;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (!n.mbr.Intersects(range)) continue;
+    if (n.leaf) {
+      for (uint32_t i = n.begin; i < n.end; ++i) {
+        if (range.Contains(entries_[i].p)) out.push_back(entries_[i]);
+      }
+    } else {
+      for (uint32_t c = n.begin; c < n.end; ++c) {
+        stack.push_back(static_cast<int32_t>(c));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<PointEntry> PointRTree::DiskQuery(const Point& center,
+                                              double radius) const {
+  std::vector<PointEntry> out;
+  ForEachInDisk(center, radius,
+                [&out](const PointEntry& e) { out.push_back(e); });
+  return out;
+}
+
+}  // namespace tq

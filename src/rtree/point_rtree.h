@@ -1,0 +1,71 @@
+// STR bulk-loaded R-tree over trajectory points.
+//
+// The paper's related work (§VII: Tang et al., Han et al., Shang et al.)
+// stores trajectory points in R-tree variants; this substrate provides that
+// alternative "traditional index" so the baseline can be run against either
+// index family (bench_ablation_indexes) and so downstream users get a
+// packed, read-optimised structure when updates are not needed.
+#ifndef TQCOVER_RTREE_POINT_RTREE_H_
+#define TQCOVER_RTREE_POINT_RTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "quadtree/point_quadtree.h"  // PointEntry
+#include "traj/dataset.h"
+
+namespace tq {
+
+/// Immutable R-tree built once with Sort-Tile-Recursive packing. Leaves hold
+/// up to `leaf_capacity` entries; internal nodes up to `fanout` children.
+class PointRTree {
+ public:
+  explicit PointRTree(std::vector<PointEntry> entries,
+                      size_t leaf_capacity = 64, size_t fanout = 16);
+
+  /// Builds over every point of every trajectory in `set`.
+  static PointRTree FromTrajectories(const TrajectorySet& set,
+                                     size_t leaf_capacity = 64,
+                                     size_t fanout = 16);
+
+  size_t size() const { return entries_.size(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  int height() const { return height_; }
+  const Rect& bounds() const;
+
+  /// Invokes `fn` for every entry within `radius` of `center`.
+  void ForEachInDisk(const Point& center, double radius,
+                     const std::function<void(const PointEntry&)>& fn) const;
+
+  /// Entries inside `range` (closed rectangle).
+  std::vector<PointEntry> RangeQuery(const Rect& range) const;
+
+  /// Entries within `radius` of `center`.
+  std::vector<PointEntry> DiskQuery(const Point& center, double radius) const;
+
+ private:
+  struct Node {
+    Rect mbr = Rect::Empty();
+    // Leaf: [begin, end) into entries_. Internal: [begin, end) into nodes_
+    // (children are contiguous).
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool leaf = true;
+  };
+
+  /// STR-packs `count` items with the given capacity; returns group ranges.
+  static std::vector<std::pair<uint32_t, uint32_t>> Slabs(size_t count,
+                                                          size_t capacity);
+
+  std::vector<PointEntry> entries_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  int height_ = 0;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_RTREE_POINT_RTREE_H_

@@ -1,0 +1,58 @@
+#include "service/accumulator.h"
+
+#include "common/check.h"
+
+namespace tq {
+
+ServiceAccumulator::ServiceAccumulator(const ServiceEvaluator* evaluator)
+    : evaluator_(evaluator) {
+  TQ_CHECK(evaluator != nullptr);
+}
+
+DynamicBitset& ServiceAccumulator::MaskFor(uint32_t user) {
+  auto it = masks_.find(user);
+  if (it == masks_.end()) {
+    it = masks_.emplace(user, DynamicBitset(evaluator_->MaskSize(user)))
+             .first;
+  }
+  return it->second;
+}
+
+void ServiceAccumulator::MarkPoint(uint32_t user, uint32_t point_index) {
+  const ServiceModel& model = evaluator_->model();
+  TQ_DCHECK(model.scenario != Scenario::kLength);
+  DynamicBitset& mask = MaskFor(user);
+  if (mask.Test(point_index)) return;
+  mask.Set(point_index);
+  const size_t n = evaluator_->users().NumPoints(user);
+  if (model.scenario == Scenario::kEndpoints) {
+    // Value flips 0 → 1 exactly when this mark completes the endpoint pair.
+    const size_t last = n - 1;
+    if ((point_index == 0 || point_index == last) && mask.Test(0) &&
+        mask.Test(last)) {
+      total_ += 1.0;
+    }
+  } else {
+    total_ += model.normalization == Normalization::kPerUser
+                  ? 1.0 / static_cast<double>(n)
+                  : 1.0;
+  }
+}
+
+void ServiceAccumulator::MarkSegment(uint32_t user, uint32_t seg_index) {
+  const ServiceModel& model = evaluator_->model();
+  TQ_DCHECK(model.scenario == Scenario::kLength);
+  DynamicBitset& mask = MaskFor(user);
+  if (mask.Test(seg_index)) return;
+  mask.Set(seg_index);
+  const auto pts = evaluator_->users().points(user);
+  const double seg_len = Distance(pts[seg_index], pts[seg_index + 1]);
+  if (model.normalization == Normalization::kPerUser) {
+    const double total_len = evaluator_->users().length(user);
+    total_ += total_len > 0.0 ? seg_len / total_len : 0.0;
+  } else {
+    total_ += seg_len;
+  }
+}
+
+}  // namespace tq

@@ -1,0 +1,51 @@
+// Per-query accumulator for segmented evaluation.
+//
+// The Segmented TQ-tree (§III-A) stores each trajectory as independent
+// two-point segments spread over many q-nodes; a single user's partial
+// service therefore arrives in pieces. The accumulator dedups served points
+// (a point is shared by two adjacent segments) and finalises per-user scores
+// into SO(U, f).
+#ifndef TQCOVER_SERVICE_ACCUMULATOR_H_
+#define TQCOVER_SERVICE_ACCUMULATOR_H_
+
+#include <unordered_map>
+
+#include "common/dynamic_bitset.h"
+#include "service/evaluator.h"
+
+namespace tq {
+
+/// Collects served point/segment marks per user, then folds them through the
+/// service model. Reusable across queries via Clear().
+class ServiceAccumulator {
+ public:
+  explicit ServiceAccumulator(const ServiceEvaluator* evaluator);
+
+  /// Marks point `point_index` of `user` as served (Scenario 1/2 layout).
+  void MarkPoint(uint32_t user, uint32_t point_index);
+
+  /// Marks segment `seg_index` of `user` as served (Scenario 3 layout).
+  void MarkSegment(uint32_t user, uint32_t seg_index);
+
+  /// SO over all users marked so far. Maintained incrementally — O(1).
+  double Total() const { return total_; }
+
+  /// Number of users with at least one mark.
+  size_t TouchedUsers() const { return masks_.size(); }
+
+  void Clear() {
+    masks_.clear();
+    total_ = 0.0;
+  }
+
+ private:
+  DynamicBitset& MaskFor(uint32_t user);
+
+  const ServiceEvaluator* evaluator_;
+  std::unordered_map<uint32_t, DynamicBitset> masks_;
+  double total_ = 0.0;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_SERVICE_ACCUMULATOR_H_

@@ -1,0 +1,56 @@
+// Exact service-value evaluation — the single source of truth for S(u,f).
+//
+// Every query algorithm (BL, TQ(B), TQ(Z)) reduces to "which users do I run
+// the exact check on"; the check itself lives here so all methods provably
+// agree (a backbone invariant of the test suite).
+#ifndef TQCOVER_SERVICE_EVALUATOR_H_
+#define TQCOVER_SERVICE_EVALUATOR_H_
+
+#include "common/dynamic_bitset.h"
+#include "service/models.h"
+#include "service/stop_grid.h"
+#include "traj/dataset.h"
+
+namespace tq {
+
+/// Which parts of a user trajectory a facility (or facility set) serves.
+/// For Scenario 1/2 the mask is over points; for Scenario 3 over segments.
+struct ServeDetail {
+  DynamicBitset mask;
+
+  bool Any() const { return !mask.None(); }
+};
+
+/// Stateless evaluator bound to a user set and a service model.
+class ServiceEvaluator {
+ public:
+  ServiceEvaluator(const TrajectorySet* users, ServiceModel model);
+
+  const ServiceModel& model() const { return model_; }
+  const TrajectorySet& users() const { return *users_; }
+
+  /// S(u, f) per §II-A, where f is represented by its StopGrid.
+  double Evaluate(uint32_t user, const StopGrid& grid) const;
+
+  /// Scenario-1 fast path: are both endpoints of `user` within ψ of a stop?
+  bool EndpointsServed(uint32_t user, const StopGrid& grid) const;
+
+  /// Served-point/segment mask of `user` under `grid` (for coverage algebra).
+  ServeDetail EvaluateDetail(uint32_t user, const StopGrid& grid) const;
+
+  /// Service value of `user` given a (possibly multi-facility) union mask —
+  /// the AGG aggregation of §II-B. The mask must have the layout produced by
+  /// EvaluateDetail for this model.
+  double ValueOfMask(uint32_t user, const DynamicBitset& mask) const;
+
+  /// Size of the detail mask for `user` under the current model.
+  size_t MaskSize(uint32_t user) const;
+
+ private:
+  const TrajectorySet* users_;
+  ServiceModel model_;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_SERVICE_EVALUATOR_H_

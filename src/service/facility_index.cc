@@ -1,0 +1,16 @@
+#include "service/facility_index.h"
+
+#include "common/check.h"
+
+namespace tq {
+
+FacilityCatalog::FacilityCatalog(const TrajectorySet* facilities, double psi)
+    : facilities_(facilities), psi_(psi) {
+  TQ_CHECK(facilities != nullptr);
+  grids_.reserve(facilities_->size());
+  for (uint32_t f = 0; f < facilities_->size(); ++f) {
+    grids_.push_back(std::make_unique<StopGrid>(facilities_->points(f), psi));
+  }
+}
+
+}  // namespace tq

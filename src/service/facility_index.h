@@ -1,0 +1,36 @@
+// Catalog of per-facility acceleration structures (StopGrid + EMBR), built
+// once per (facility set, ψ) and shared by all query algorithms.
+#ifndef TQCOVER_SERVICE_FACILITY_INDEX_H_
+#define TQCOVER_SERVICE_FACILITY_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "service/stop_grid.h"
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+
+namespace tq {
+
+/// Owns one StopGrid per facility. Facilities are stop-point sequences in a
+/// TrajectorySet (not owned; must outlive the catalog).
+class FacilityCatalog {
+ public:
+  FacilityCatalog(const TrajectorySet* facilities, double psi);
+
+  const TrajectorySet& facilities() const { return *facilities_; }
+  size_t size() const { return grids_.size(); }
+  double psi() const { return psi_; }
+
+  const StopGrid& grid(FacilityId f) const { return *grids_[f]; }
+  const Rect& embr(FacilityId f) const { return grids_[f]->embr(); }
+
+ private:
+  const TrajectorySet* facilities_;
+  double psi_;
+  std::vector<std::unique_ptr<StopGrid>> grids_;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_SERVICE_FACILITY_INDEX_H_

@@ -1,0 +1,35 @@
+#include "service/models.h"
+
+#include <cstdio>
+
+namespace tq {
+
+double ServiceModel::UpperBound(const ServiceAggregates& agg) const {
+  switch (scenario) {
+    case Scenario::kEndpoints:
+      return agg.traj_count;
+    case Scenario::kPointCount:
+      // Normalised S(u,f) ≤ 1 per trajectory, so the trajectory count is a
+      // tighter bound than the paper's raw point total.
+      return normalization == Normalization::kPerUser ? agg.traj_count
+                                                      : agg.point_count;
+    case Scenario::kLength:
+      return normalization == Normalization::kPerUser ? agg.traj_count
+                                                      : agg.total_length;
+  }
+  return agg.traj_count;
+}
+
+std::string ServiceModel::ToString() const {
+  const char* sc = scenario == Scenario::kEndpoints     ? "endpoints"
+                   : scenario == Scenario::kPointCount ? "point-count"
+                                                        : "length";
+  const char* norm =
+      normalization == Normalization::kPerUser ? "per-user" : "raw";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "ServiceModel{%s, %s, psi=%.1fm}", sc, norm,
+                psi);
+  return buf;
+}
+
+}  // namespace tq

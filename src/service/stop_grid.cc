@@ -1,0 +1,64 @@
+#include "service/stop_grid.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tq {
+
+StopGrid::StopGrid(std::span<const Point> stops, double psi)
+    : stops_(stops.begin(), stops.end()), psi_(psi), inv_cell_(1.0 / psi) {
+  TQ_CHECK_MSG(psi > 0.0, "psi must be positive");
+  TQ_CHECK_MSG(!stops_.empty(), "facility must have at least one stop");
+  mbr_ = Rect::BoundingBox(stops_);
+  embr_ = mbr_.Expanded(psi_);
+  cells_.reserve(stops_.size() * 2);
+  for (uint32_t i = 0; i < stops_.size(); ++i) {
+    cells_[CellKey(stops_[i].x, stops_[i].y)].push_back(i);
+  }
+}
+
+int64_t StopGrid::CellKey(double x, double y) const {
+  const auto cx = static_cast<int64_t>(std::floor(x * inv_cell_));
+  const auto cy = static_cast<int64_t>(std::floor(y * inv_cell_));
+  // Pack two 32-bit cell coordinates; city extents are far below 2^31 cells.
+  return (cx << 32) ^ (cy & 0xFFFFFFFFLL);
+}
+
+bool StopGrid::Serves(const Point& p) const {
+  if (!embr_.Contains(p)) return false;
+  const double psi2 = psi_ * psi_;
+  const auto cx = static_cast<int64_t>(std::floor(p.x * inv_cell_));
+  const auto cy = static_cast<int64_t>(std::floor(p.y * inv_cell_));
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      const int64_t key = ((cx + dx) << 32) ^ ((cy + dy) & 0xFFFFFFFFLL);
+      const auto it = cells_.find(key);
+      if (it == cells_.end()) continue;
+      for (const uint32_t si : it->second) {
+        if (DistanceSquared(p, stops_[si]) <= psi2) return true;
+      }
+    }
+  }
+  return false;
+}
+
+double StopGrid::NearbyStopDistance(const Point& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  const auto cx = static_cast<int64_t>(std::floor(p.x * inv_cell_));
+  const auto cy = static_cast<int64_t>(std::floor(p.y * inv_cell_));
+  for (int64_t dx = -1; dx <= 1; ++dx) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      const int64_t key = ((cx + dx) << 32) ^ ((cy + dy) & 0xFFFFFFFFLL);
+      const auto it = cells_.find(key);
+      if (it == cells_.end()) continue;
+      for (const uint32_t si : it->second) {
+        best = std::min(best, DistanceSquared(p, stops_[si]));
+      }
+    }
+  }
+  return std::sqrt(best);
+}
+
+}  // namespace tq

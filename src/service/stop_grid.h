@@ -1,0 +1,58 @@
+// Uniform hash grid over one facility's stop points.
+//
+// Answers "is this user point within ψ of any stop of the facility?" in O(1)
+// expected time (3×3 cell probe with cell size ψ). Every query method — BL,
+// TQ(B) and TQ(Z) — funnels its final exact check through this structure, so
+// the methods can only differ in *which* candidates they inspect, never in
+// the service value they assign. This also realises the paper's MakeUnion
+// merge step: clipped facility components re-unify here because the grid
+// always holds the full facility.
+#ifndef TQCOVER_SERVICE_STOP_GRID_H_
+#define TQCOVER_SERVICE_STOP_GRID_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace tq {
+
+/// Immutable ψ-cell hash grid over a facility's stops.
+class StopGrid {
+ public:
+  StopGrid(std::span<const Point> stops, double psi);
+
+  double psi() const { return psi_; }
+  std::span<const Point> stops() const { return stops_; }
+
+  /// MBR of the stops.
+  const Rect& mbr() const { return mbr_; }
+
+  /// ψ-extended MBR — the paper's EMBR enclosing the serving area (§IV-A).
+  const Rect& embr() const { return embr_; }
+
+  /// True iff `p` is within ψ of at least one stop.
+  bool Serves(const Point& p) const;
+
+  /// Distance from `p` to the nearest stop within the 3×3 probe window;
+  /// +inf when no stop is that close. Used by diagnostics and tests.
+  double NearbyStopDistance(const Point& p) const;
+
+ private:
+  int64_t CellKey(double x, double y) const;
+
+  std::vector<Point> stops_;
+  double psi_;
+  double inv_cell_;
+  Rect mbr_;
+  Rect embr_;
+  // cell key → indices into stops_. Flat buckets keep probes cache-friendly.
+  std::unordered_map<int64_t, std::vector<uint32_t>> cells_;
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_SERVICE_STOP_GRID_H_

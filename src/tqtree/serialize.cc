@@ -1,0 +1,215 @@
+#include "tqtree/serialize.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+#include "tqtree/aggregates.h"
+
+namespace tq {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'Q', 'T', '1'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(T));
+  return is.good();
+}
+
+void WriteRect(std::ostream& os, const Rect& r) {
+  WritePod(os, r.min_x);
+  WritePod(os, r.min_y);
+  WritePod(os, r.max_x);
+  WritePod(os, r.max_y);
+}
+
+bool ReadRect(std::istream& is, Rect* r) {
+  return ReadPod(is, &r->min_x) && ReadPod(is, &r->min_y) &&
+         ReadPod(is, &r->max_x) && ReadPod(is, &r->max_y);
+}
+
+}  // namespace
+
+/// Friend of TQTree with raw access to nodes_ / bookkeeping.
+class TQTreeSerializer {
+ public:
+  static Status Save(const std::string& path, const TQTree& tree) {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+      return Status::IOError("cannot write " + path + ": " +
+                             std::strerror(errno));
+    }
+    os.write(kMagic, sizeof(kMagic));
+    WritePod(os, kVersion);
+    const TQTreeOptions& opt = tree.options_;
+    WritePod(os, static_cast<uint64_t>(opt.beta));
+    WritePod(os, static_cast<int32_t>(opt.max_depth));
+    WritePod(os, static_cast<uint8_t>(opt.variant));
+    WritePod(os, static_cast<uint8_t>(opt.mode));
+    WritePod(os, static_cast<uint8_t>(opt.model.scenario));
+    WritePod(os, static_cast<uint8_t>(opt.model.normalization));
+    WritePod(os, opt.model.psi);
+    WritePod(os, static_cast<uint8_t>(opt.basic_entry_mbr_precheck));
+    WriteRect(os, tree.world_);
+    WritePod(os, static_cast<uint64_t>(tree.users_->size()));
+    WritePod(os, static_cast<uint64_t>(tree.nodes_.size()));
+    for (const TQNode& n : tree.nodes_) {
+      WriteRect(os, n.rect);
+      WritePod(os, n.first_child);
+      WritePod(os, n.depth);
+      WritePod(os, static_cast<uint32_t>(n.entries.size()));
+      for (const TrajEntry& e : n.entries) {
+        WritePod(os, e.traj_id);
+        WritePod(os, e.seg_index);
+      }
+    }
+    if (!os.good()) return Status::IOError("write failed for " + path);
+    return Status::OK();
+  }
+
+  static Result<std::unique_ptr<TQTree>> Load(const std::string& path,
+                                              const TrajectorySet* users) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      return Status::IOError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      return Status::InvalidArgument(path + ": not a TQ-tree file");
+    }
+    uint32_t version = 0;
+    if (!ReadPod(is, &version) || version != kVersion) {
+      return Status::InvalidArgument(path + ": unsupported version");
+    }
+    TQTreeOptions opt;
+    uint64_t beta = 0;
+    int32_t max_depth = 0;
+    uint8_t variant = 0, mode = 0, scenario = 0, norm = 0, precheck = 0;
+    if (!ReadPod(is, &beta) || !ReadPod(is, &max_depth) ||
+        !ReadPod(is, &variant) || !ReadPod(is, &mode) ||
+        !ReadPod(is, &scenario) || !ReadPod(is, &norm) ||
+        !ReadPod(is, &opt.model.psi) || !ReadPod(is, &precheck)) {
+      return Status::InvalidArgument(path + ": truncated header");
+    }
+    if (variant > 1 || mode > 1 || scenario > 2 || norm > 1 || beta == 0) {
+      return Status::InvalidArgument(path + ": corrupt header fields");
+    }
+    opt.beta = beta;
+    opt.max_depth = max_depth;
+    opt.variant = static_cast<IndexVariant>(variant);
+    opt.mode = static_cast<TrajMode>(mode);
+    opt.model.scenario = static_cast<Scenario>(scenario);
+    opt.model.normalization = static_cast<Normalization>(norm);
+    opt.basic_entry_mbr_precheck = precheck != 0;
+
+    Rect world;
+    uint64_t users_size = 0, node_count = 0;
+    if (!ReadRect(is, &world) || !ReadPod(is, &users_size) ||
+        !ReadPod(is, &node_count)) {
+      return Status::InvalidArgument(path + ": truncated header");
+    }
+    if (users_size != users->size()) {
+      return Status::InvalidArgument(
+          path + ": user-set size mismatch (file built over " +
+          std::to_string(users_size) + " trajectories, given " +
+          std::to_string(users->size()) + ")");
+    }
+    if (node_count == 0 || node_count > (1ull << 31)) {
+      return Status::InvalidArgument(path + ": implausible node count");
+    }
+
+    auto tree = std::unique_ptr<TQTree>(
+        new TQTree(users, opt, TQTree::DeserializeTag{}));
+    tree->world_ = world;
+    tree->nodes_.resize(node_count);
+    for (uint64_t i = 0; i < node_count; ++i) {
+      TQNode& n = tree->nodes_[i];
+      uint32_t entry_count = 0;
+      if (!ReadRect(is, &n.rect) || !ReadPod(is, &n.first_child) ||
+          !ReadPod(is, &n.depth) || !ReadPod(is, &entry_count)) {
+        return Status::InvalidArgument(path + ": truncated node table");
+      }
+      if (n.first_child >= 0 &&
+          (static_cast<uint64_t>(n.first_child) + 4 > node_count ||
+           static_cast<uint64_t>(n.first_child) <= i)) {
+        // Children always follow their parent in construction order; the
+        // bottom-up aggregate pass below depends on it.
+        return Status::InvalidArgument(path + ": child index out of range");
+      }
+      n.entries.reserve(entry_count);
+      for (uint32_t e = 0; e < entry_count; ++e) {
+        uint32_t traj_id = 0, seg_index = 0;
+        if (!ReadPod(is, &traj_id) || !ReadPod(is, &seg_index)) {
+          return Status::InvalidArgument(path + ": truncated entry list");
+        }
+        if (traj_id >= users->size()) {
+          return Status::InvalidArgument(path + ": entry trajectory id " +
+                                         std::to_string(traj_id) +
+                                         " out of range");
+        }
+        // Rebuild geometry + bounds from the live user set.
+        if (seg_index == kWholeUnit) {
+          n.entries.push_back(
+              MakeWholeEntry(*users, traj_id, opt.model));
+        } else {
+          if (seg_index + 1 >= users->NumPoints(traj_id)) {
+            return Status::InvalidArgument(path + ": segment index " +
+                                           std::to_string(seg_index) +
+                                           " out of range");
+          }
+          n.entries.push_back(
+              MakeSegmentEntry(*users, traj_id, seg_index, opt.model));
+        }
+        n.entries.back().ub = UnitUpperBound(
+            *users, traj_id,
+            seg_index == kWholeUnit ? kWholeUnit : seg_index, opt.model);
+        tree->num_units_++;
+      }
+      for (const TrajEntry& e : n.entries) {
+        n.local_ub += e.ub;
+        n.local_agg.Add(e.agg);
+      }
+      n.zindex_dirty = true;
+    }
+    // Recompute subtree aggregates bottom-up (children have larger indices
+    // than their parent by construction order).
+    for (auto i = static_cast<int64_t>(node_count) - 1; i >= 0; --i) {
+      TQNode& n = tree->nodes_[static_cast<size_t>(i)];
+      n.sub = n.local_ub;
+      n.sub_agg = n.local_agg;
+      if (!n.IsLeaf()) {
+        for (int q = 0; q < 4; ++q) {
+          const TQNode& c =
+              tree->nodes_[static_cast<size_t>(n.first_child + q)];
+          n.sub += c.sub;
+          n.sub_agg.Add(c.sub_agg);
+        }
+      }
+    }
+    if (opt.variant == IndexVariant::kZOrder) tree->BuildAllZIndexes();
+    return tree;
+  }
+};
+
+Status SaveTQTree(const std::string& path, const TQTree& tree) {
+  return TQTreeSerializer::Save(path, tree);
+}
+
+Result<std::unique_ptr<TQTree>> LoadTQTree(const std::string& path,
+                                           const TrajectorySet* users) {
+  TQ_CHECK(users != nullptr);
+  return TQTreeSerializer::Load(path, users);
+}
+
+}  // namespace tq

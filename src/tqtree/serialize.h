@@ -1,0 +1,39 @@
+// Binary persistence for the TQ-tree.
+//
+// The paper sizes β as "a memory block (or a disk block for a disk-resident
+// list)" — this module provides the disk side: a packed binary image of the
+// quadtree skeleton plus per-node unit-id lists. Unit geometry, upper bounds
+// and z-indexes are rebuilt from the user TrajectorySet on load, which keeps
+// files small and makes stale files (wrong user set) detectable.
+//
+// Format (little-endian, host-width doubles):
+//   magic "TQT1", u32 version
+//   options: u64 beta, i32 max_depth, u8 variant, u8 mode,
+//            u8 scenario, u8 normalization, f64 psi, u8 precheck
+//   f64×4 world rect, u64 user-set size (validation), u64 node count
+//   per node: f64×4 rect, i32 first_child, i16 depth, u32 entry count,
+//             entries as (u32 traj_id, u32 seg_index)
+#ifndef TQCOVER_TQTREE_SERIALIZE_H_
+#define TQCOVER_TQTREE_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "tqtree/tq_tree.h"
+
+namespace tq {
+
+/// Writes `tree` to `path`.
+Status SaveTQTree(const std::string& path, const TQTree& tree);
+
+/// Reads a tree written by SaveTQTree. `users` must be the same trajectory
+/// set the tree was built over (checked by size; per-entry ids are bounds-
+/// checked). Z-indexes are rebuilt eagerly for kZOrder trees, mirroring the
+/// building constructor.
+Result<std::unique_ptr<TQTree>> LoadTQTree(const std::string& path,
+                                           const TrajectorySet* users);
+
+}  // namespace tq
+
+#endif  // TQCOVER_TQTREE_SERIALIZE_H_

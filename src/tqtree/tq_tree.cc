@@ -1,0 +1,331 @@
+#include "tqtree/tq_tree.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+#include "tqtree/aggregates.h"
+
+namespace tq {
+
+ZPruneMode DerivePruneMode(TrajMode mode, const ServiceModel& model,
+                           size_t max_points) {
+  if (mode == TrajMode::kSegmented) {
+    // A segment unit exposes exactly its two endpoints. Scenario 3 serves a
+    // segment only when both ends are within ψ (AND filter exact); Scenarios
+    // 1/2 credit single points, so either covered end makes it a candidate.
+    return model.scenario == Scenario::kLength ? ZPruneMode::kStartEnd
+                                               : ZPruneMode::kStartOrEnd;
+  }
+  if (model.EndpointsOnly()) return ZPruneMode::kStartEnd;
+  if (max_points <= 2) {
+    return model.scenario == Scenario::kLength ? ZPruneMode::kStartEnd
+                                               : ZPruneMode::kStartOrEnd;
+  }
+  return ZPruneMode::kMbr;
+}
+
+TQTree::TQTree(const TrajectorySet* users, TQTreeOptions options,
+               DeserializeTag)
+    : users_(users), options_(options) {
+  TQ_CHECK(users != nullptr);
+  for (uint32_t u = 0; u < users_->size(); ++u) {
+    max_points_ = std::max(max_points_, users_->NumPoints(u));
+  }
+  prune_mode_ = DerivePruneMode(options_.mode, options_.model, max_points_);
+}
+
+TQTree::TQTree(const TrajectorySet* users, TQTreeOptions options)
+    : users_(users), options_(options) {
+  TQ_CHECK(users != nullptr);
+  TQ_CHECK(options_.beta > 0);
+  TQ_CHECK(options_.max_depth >= 1 && options_.max_depth <= 32);
+  Rect box = users_->empty() ? Rect::Of(0, 0, 1, 1) : users_->BoundingBox();
+  // Expand slightly so boundary points sit strictly inside and top splits
+  // cannot degenerate.
+  const double pad =
+      0.001 * std::max({box.Width(), box.Height(), 1.0});
+  world_ = box.Expanded(pad);
+
+  for (uint32_t u = 0; u < users_->size(); ++u) {
+    max_points_ = std::max(max_points_, users_->NumPoints(u));
+  }
+  prune_mode_ = DerivePruneMode(options_.mode, options_.model, max_points_);
+
+  nodes_.push_back(TQNode{});
+  nodes_[0].rect = world_;
+  nodes_[0].depth = 0;
+  BulkBuild();
+  if (options_.variant == IndexVariant::kZOrder) BuildAllZIndexes();
+}
+
+void TQTree::BulkBuild() {
+  for (uint32_t u = 0; u < users_->size(); ++u) Insert(u);
+}
+
+void TQTree::Insert(uint32_t traj_id) {
+  TQ_CHECK(traj_id < users_->size());
+  if (options_.mode == TrajMode::kWhole) {
+    InsertEntry(MakeWholeEntry(*users_, traj_id, options_.model));
+  } else {
+    const size_t n = users_->NumPoints(traj_id);
+    if (n < 2) {
+      // A single-point trajectory degenerates to a zero-length segment so
+      // it still participates in point-count service.
+      InsertEntry(MakeWholeEntry(*users_, traj_id, options_.model));
+      return;
+    }
+    for (uint32_t s = 0; s + 1 < n; ++s) {
+      InsertEntry(MakeSegmentEntry(*users_, traj_id, s, options_.model));
+    }
+  }
+}
+
+int32_t TQTree::ChildContaining(int32_t idx, const Rect& mbr) const {
+  const TQNode& n = nodes_[static_cast<size_t>(idx)];
+  TQ_DCHECK(!n.IsLeaf());
+  // The candidate child is the quadrant holding the MBR centre; containment
+  // of the whole MBR still has to be verified.
+  const int q = n.rect.QuadrantOf(mbr.Center());
+  const int32_t child = n.first_child + q;
+  if (nodes_[static_cast<size_t>(child)].rect.ContainsRect(mbr)) return child;
+  return -1;
+}
+
+void TQTree::InsertEntry(const TrajEntry& e) {
+  int32_t idx = 0;
+  for (;;) {
+    TQNode& n = nodes_[static_cast<size_t>(idx)];
+    n.sub += e.ub;
+    n.sub_agg.Add(e.agg);
+    if (n.IsLeaf()) {
+      StoreAt(idx, e);
+      MaybeSplit(idx);
+      return;
+    }
+    const int32_t child = ChildContaining(idx, e.mbr);
+    if (child < 0) {
+      StoreAt(idx, e);  // inter-node unit
+      return;
+    }
+    idx = child;
+  }
+}
+
+void TQTree::StoreAt(int32_t idx, const TrajEntry& e) {
+  TQNode& n = nodes_[static_cast<size_t>(idx)];
+  n.entries.push_back(e);
+  n.local_ub += e.ub;
+  n.local_agg.Add(e.agg);
+  n.zindex_dirty = true;
+  ++num_units_;
+}
+
+void TQTree::MaybeSplit(int32_t idx) {
+  {
+    TQNode& n = nodes_[static_cast<size_t>(idx)];
+    if (!n.IsLeaf()) return;
+    if (n.entries.size() <= options_.beta) return;
+    if (n.depth >= options_.max_depth) return;
+    // Retry a failed split only after the list doubles.
+    if (n.split_failed_at != 0 && n.entries.size() < 2 * n.split_failed_at) {
+      return;
+    }
+    // Split only if at least one unit would move down (the paper partitions
+    // while intra-node units remain; a split that leaves everything as
+    // inter-node units is pure overhead).
+    bool any_movable = false;
+    for (const TrajEntry& e : n.entries) {
+      const int q = n.rect.QuadrantOf(e.mbr.Center());
+      if (n.rect.Quadrant(q).ContainsRect(e.mbr)) {
+        any_movable = true;
+        break;
+      }
+    }
+    if (!any_movable) {
+      n.split_failed_at = static_cast<uint32_t>(n.entries.size());
+      return;
+    }
+  }
+
+  // Allocate children (invalidates references into nodes_).
+  const auto first = static_cast<int32_t>(nodes_.size());
+  {
+    const Rect rect = nodes_[static_cast<size_t>(idx)].rect;
+    const auto depth =
+        static_cast<int16_t>(nodes_[static_cast<size_t>(idx)].depth + 1);
+    for (int q = 0; q < 4; ++q) {
+      TQNode child;
+      child.rect = rect.Quadrant(q);
+      child.depth = depth;
+      nodes_.push_back(std::move(child));
+    }
+    nodes_[static_cast<size_t>(idx)].first_child = first;
+  }
+
+  // Redistribute: units fitting a child sink; the rest stay as the
+  // inter-node list of this (now internal) node.
+  std::vector<TrajEntry> keep;
+  std::vector<TrajEntry> moved;
+  moved.reserve(nodes_[static_cast<size_t>(idx)].entries.size());
+  {
+    TQNode& n = nodes_[static_cast<size_t>(idx)];
+    for (TrajEntry& e : n.entries) {
+      const int q = n.rect.QuadrantOf(e.mbr.Center());
+      if (n.rect.Quadrant(q).ContainsRect(e.mbr)) {
+        moved.push_back(e);
+      } else {
+        keep.push_back(e);
+      }
+    }
+    n.entries.swap(keep);
+    n.zindex_dirty = true;
+    // Recompute local bookkeeping for the kept list.
+    n.local_ub = 0.0;
+    n.local_agg = ServiceAggregates{};
+    for (const TrajEntry& e : n.entries) {
+      n.local_ub += e.ub;
+      n.local_agg.Add(e.agg);
+    }
+  }
+  for (const TrajEntry& e : moved) {
+    const int q =
+        nodes_[static_cast<size_t>(idx)].rect.QuadrantOf(e.mbr.Center());
+    const int32_t child = first + q;
+    TQNode& c = nodes_[static_cast<size_t>(child)];
+    c.sub += e.ub;
+    c.sub_agg.Add(e.agg);
+    c.entries.push_back(e);
+    c.local_ub += e.ub;
+    c.local_agg.Add(e.agg);
+    c.zindex_dirty = true;
+  }
+  for (int q = 0; q < 4; ++q) MaybeSplit(first + q);
+}
+
+int32_t TQTree::ContainingNode(const Rect& r) const {
+  int32_t idx = 0;
+  for (;;) {
+    const TQNode& n = nodes_[static_cast<size_t>(idx)];
+    if (n.IsLeaf()) return idx;
+    const int32_t child = ChildContaining(idx, r);
+    if (child < 0) return idx;
+    idx = child;
+  }
+}
+
+std::vector<int32_t> TQTree::PathTo(int32_t idx) const {
+  // Rebuild the path by re-descending toward idx's rectangle centre.
+  std::vector<int32_t> path;
+  const Rect target = nodes_[static_cast<size_t>(idx)].rect;
+  int32_t cur = 0;
+  path.push_back(cur);
+  while (cur != idx) {
+    const TQNode& n = nodes_[static_cast<size_t>(cur)];
+    TQ_CHECK_MSG(!n.IsLeaf(), "PathTo: idx not reachable from root");
+    cur = n.first_child + n.rect.QuadrantOf(target.Center());
+    path.push_back(cur);
+  }
+  return path;
+}
+
+const ZIndex* TQTree::zindex(int32_t idx) {
+  if (options_.variant != IndexVariant::kZOrder) return nullptr;
+  TQNode& n = nodes_[static_cast<size_t>(idx)];
+  if (n.entries.empty()) return nullptr;
+  if (n.zindex_dirty) {
+    n.zindex = std::make_unique<ZIndex>(n.rect, n.entries, options_.beta,
+                                        prune_mode_);
+    n.zindex_dirty = false;
+  }
+  return n.zindex.get();
+}
+
+void TQTree::BuildAllZIndexes() {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    (void)zindex(static_cast<int32_t>(i));
+  }
+}
+
+bool TQTree::Remove(uint32_t traj_id) {
+  TQ_CHECK(traj_id < users_->size());
+  if (options_.mode == TrajMode::kWhole || users_->NumPoints(traj_id) < 2) {
+    const TrajEntry e = MakeWholeEntry(*users_, traj_id, options_.model);
+    return RemoveUnit(traj_id, e.seg_index, e.mbr, e.ub, e.agg);
+  }
+  bool all = true;
+  const size_t n = users_->NumPoints(traj_id);
+  for (uint32_t s = 0; s + 1 < n; ++s) {
+    const TrajEntry e = MakeSegmentEntry(*users_, traj_id, s, options_.model);
+    all = RemoveUnit(traj_id, s, e.mbr, e.ub, e.agg) && all;
+  }
+  return all;
+}
+
+bool TQTree::RemoveUnit(uint32_t traj_id, uint32_t seg_index,
+                        const Rect& unit_mbr, double ub,
+                        const ServiceAggregates& agg) {
+  // Locate the storing node by re-descending with the unit's MBR.
+  std::vector<int32_t> path;
+  int32_t idx = 0;
+  int32_t store = -1;
+  for (;;) {
+    path.push_back(idx);
+    const TQNode& n = nodes_[static_cast<size_t>(idx)];
+    if (n.IsLeaf()) {
+      store = idx;
+      break;
+    }
+    const int32_t child = ChildContaining(idx, unit_mbr);
+    if (child < 0) {
+      store = idx;
+      break;
+    }
+    idx = child;
+  }
+  TQNode& n = nodes_[static_cast<size_t>(store)];
+  auto it = std::find_if(n.entries.begin(), n.entries.end(),
+                         [&](const TrajEntry& e) {
+                           return e.traj_id == traj_id &&
+                                  e.seg_index == seg_index;
+                         });
+  if (it == n.entries.end()) return false;
+  n.entries.erase(it);
+  n.local_ub -= ub;
+  n.local_agg.Subtract(agg);
+  n.zindex_dirty = true;
+  for (const int32_t p : path) {
+    nodes_[static_cast<size_t>(p)].sub -= ub;
+    nodes_[static_cast<size_t>(p)].sub_agg.Subtract(agg);
+  }
+  --num_units_;
+  return true;
+}
+
+TQTreeStats TQTree::ComputeStats() const {
+  TQTreeStats s;
+  s.num_nodes = nodes_.size();
+  for (const TQNode& n : nodes_) {
+    if (n.IsLeaf()) ++s.num_leaves;
+    s.num_entries += n.entries.size();
+    s.max_depth = std::max(s.max_depth, static_cast<size_t>(n.depth));
+    s.max_list_len = std::max(s.max_list_len, n.entries.size());
+  }
+  s.avg_list_len = s.num_nodes == 0
+                       ? 0.0
+                       : static_cast<double>(s.num_entries) /
+                             static_cast<double>(s.num_nodes);
+  return s;
+}
+
+std::string TQTreeStats::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "nodes=%zu leaves=%zu entries=%zu max_depth=%zu "
+                "max_list=%zu avg_list=%.2f",
+                num_nodes, num_leaves, num_entries, max_depth, max_list_len,
+                avg_list_len);
+  return buf;
+}
+
+}  // namespace tq

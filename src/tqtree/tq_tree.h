@@ -1,0 +1,151 @@
+// The Trajectory Quadtree (TQ-tree) — the paper's core contribution (§III).
+//
+// Two-level index over user trajectories:
+//   level 1: a quadtree whose node E stores, in UL(E), the trajectories (or
+//            segments) that span E's children (internal nodes) or fit inside
+//            E (leaves), so longer units live higher in the tree;
+//   level 2: per node, a z-order bucket list (ZIndex) grouping co-located,
+//            similarly-oriented units — the structure zReduce prunes.
+//
+// Variants (all from the paper's evaluation):
+//   * IndexVariant::kBasic  — TQ(B): flat per-node lists, no z-ordering.
+//   * IndexVariant::kZOrder — TQ(Z): z-ordered buckets per node.
+//   * TrajMode::kWhole      — trajectories stored whole: the two-point index
+//                             of §III and the full-trajectory index of §III-A.
+//   * TrajMode::kSegmented  — every consecutive point pair stored as its own
+//                             unit (the segmented index of §III-A).
+#ifndef TQCOVER_TQTREE_TQ_TREE_H_
+#define TQCOVER_TQTREE_TQ_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/rect.h"
+#include "service/models.h"
+#include "tqtree/node.h"
+#include "traj/dataset.h"
+
+namespace tq {
+
+/// Which second-level organisation a tree uses.
+enum class IndexVariant { kBasic, kZOrder };
+
+/// Whether trajectories are stored whole or as independent segments.
+enum class TrajMode { kWhole, kSegmented };
+
+/// Construction parameters.
+struct TQTreeOptions {
+  /// Node capacity and z-bucket size — the paper's β ("size of a memory
+  /// block").
+  size_t beta = 64;
+  /// Maximum quadtree depth.
+  int max_depth = 20;
+  IndexVariant variant = IndexVariant::kZOrder;
+  TrajMode mode = TrajMode::kWhole;
+  /// Service model the per-node upper bounds are computed for.
+  ServiceModel model;
+  /// Ablation: give TQ(B)'s linear scan a per-entry MBR pre-check.
+  bool basic_entry_mbr_precheck = false;
+};
+
+/// Structural statistics (index size accounting of §III-B).
+struct TQTreeStats {
+  size_t num_nodes = 0;
+  size_t num_leaves = 0;
+  size_t num_entries = 0;
+  size_t max_depth = 0;
+  size_t max_list_len = 0;
+  double avg_list_len = 0.0;
+
+  std::string ToString() const;
+};
+
+/// The TQ-tree. Bulk-built over a TrajectorySet (not owned; must outlive the
+/// tree); supports dynamic Insert/Remove (§III-C). Not thread-safe: z-index
+/// rebuilds after updates are lazy and mutate internal state on first query.
+class TQTree {
+ public:
+  TQTree(const TrajectorySet* users, TQTreeOptions options);
+
+  const TQTreeOptions& options() const { return options_; }
+  const TrajectorySet& users() const { return *users_; }
+  const Rect& world() const { return world_; }
+  ZPruneMode prune_mode() const { return prune_mode_; }
+
+  /// True when every stored unit is a two-point unit (segments, or whole
+  /// trajectories of a source-destination dataset). Then any unit fully
+  /// served by a facility lies inside its EMBR, so inter-node lists of
+  /// ContainingNode's ancestors can never contribute and top-k may skip them.
+  bool two_point_units() const {
+    return options_.mode == TrajMode::kSegmented || max_points_ <= 2;
+  }
+
+  int32_t root() const { return 0; }
+  const TQNode& node(int32_t idx) const {
+    return nodes_[static_cast<size_t>(idx)];
+  }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_units() const { return num_units_; }
+
+  /// Smallest node whose rectangle contains `r` (the paper's
+  /// containingQNode); the root when nothing smaller contains it.
+  int32_t ContainingNode(const Rect& r) const;
+
+  /// Nodes on the path root → `idx`, inclusive.
+  std::vector<int32_t> PathTo(int32_t idx) const;
+
+  /// Z-index over `idx`'s list, rebuilding if dirty. Returns nullptr for
+  /// kBasic trees and for empty lists.
+  const ZIndex* zindex(int32_t idx);
+
+  /// Inserts trajectory `traj_id` of the user set (as a whole unit or as all
+  /// of its segments, per the tree mode). O(h) descent per unit (§III-C).
+  void Insert(uint32_t traj_id);
+
+  /// De-indexes trajectory `traj_id`. Returns false if it was not indexed.
+  /// (The TrajectorySet itself is append-only; removal affects the index
+  /// only.)
+  bool Remove(uint32_t traj_id);
+
+  TQTreeStats ComputeStats() const;
+
+  /// Total of all per-node `sub` consistency: root sub must equal the sum of
+  /// every stored unit's upper bound. Used by tests / TQ_DCHECK audits.
+  double RootUpperBound() const { return nodes_[0].sub; }
+
+ private:
+  friend class TQTreeBuilderAccess;  // test hook
+  friend class TQTreeSerializer;     // serialize.cc: raw node access
+
+  /// Deserialisation constructor: sets up members without bulk-building.
+  struct DeserializeTag {};
+  TQTree(const TrajectorySet* users, TQTreeOptions options, DeserializeTag);
+
+  void BulkBuild();
+  void InsertEntry(const TrajEntry& e);
+  void StoreAt(int32_t idx, const TrajEntry& e);
+  void MaybeSplit(int32_t idx);
+  bool RemoveUnit(uint32_t traj_id, uint32_t seg_index, const Rect& unit_mbr,
+                  double ub, const ServiceAggregates& agg);
+  /// Child of `idx` whose rect contains `mbr`, or -1.
+  int32_t ChildContaining(int32_t idx, const Rect& mbr) const;
+  void BuildAllZIndexes();
+
+  const TrajectorySet* users_;
+  TQTreeOptions options_;
+  Rect world_;
+  ZPruneMode prune_mode_;
+  std::vector<TQNode> nodes_;
+  size_t num_units_ = 0;
+  size_t max_points_ = 0;
+};
+
+/// Derives the soundness-preserving prune mode for a tree configuration (see
+/// ZPruneMode). `max_points` is the maximum trajectory point count.
+ZPruneMode DerivePruneMode(TrajMode mode, const ServiceModel& model,
+                           size_t max_points);
+
+}  // namespace tq
+
+#endif  // TQCOVER_TQTREE_TQ_TREE_H_

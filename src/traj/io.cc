@@ -1,0 +1,140 @@
+#include "traj/io.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace tq {
+
+Status ParseTrajectoryLine(const std::string& line, std::vector<Point>* out) {
+  const size_t size_before = out->size();
+  size_t pos = 0;
+  while (pos < line.size()) {
+    size_t end = line.find(';', pos);
+    if (end == std::string::npos) end = line.size();
+    const size_t comma = line.find(',', pos);
+    if (comma == std::string::npos || comma >= end) {
+      return Status::InvalidArgument("malformed point in: " + line);
+    }
+    Point p;
+    auto r1 = std::from_chars(line.data() + pos, line.data() + comma, p.x);
+    auto r2 =
+        std::from_chars(line.data() + comma + 1, line.data() + end, p.y);
+    if (r1.ec != std::errc() || r2.ec != std::errc()) {
+      return Status::InvalidArgument("bad coordinate in: " + line);
+    }
+    out->push_back(p);
+    pos = end + 1;
+  }
+  if (out->size() == size_before) {
+    return Status::InvalidArgument("empty trajectory line");
+  }
+  return Status::OK();
+}
+
+Status LoadTrajectoryCsv(const std::string& path, TrajectorySet* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string line;
+  std::vector<Point> points;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    points.clear();
+    Status st = ParseTrajectoryLine(line, &points);
+    if (!st.ok()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + st.message());
+    }
+    out->Add(points);
+  }
+  return Status::OK();
+}
+
+namespace {
+constexpr char kTrajMagic[4] = {'T', 'Q', 'J', '1'};
+}  // namespace
+
+Status SaveTrajectoryBinary(const std::string& path,
+                            const TrajectorySet& set) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    return Status::IOError("cannot write " + path + ": " +
+                           std::strerror(errno));
+  }
+  os.write(kTrajMagic, sizeof(kTrajMagic));
+  const uint64_t count = set.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (uint32_t id = 0; id < set.size(); ++id) {
+    const auto pts = set.points(id);
+    const uint32_t n = static_cast<uint32_t>(pts.size());
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    os.write(reinterpret_cast<const char*>(pts.data()),
+             static_cast<std::streamsize>(n * sizeof(Point)));
+  }
+  if (!os.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status LoadTrajectoryBinary(const std::string& path, TrajectorySet* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is.good() || std::memcmp(magic, kTrajMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(path + ": not a trajectory binary file");
+  }
+  uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is.good()) return Status::InvalidArgument(path + ": truncated");
+  std::vector<Point> pts;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!is.good() || n == 0 || n > (1u << 24)) {
+      return Status::InvalidArgument(path + ": corrupt trajectory " +
+                                     std::to_string(i));
+    }
+    pts.resize(n);
+    is.read(reinterpret_cast<char*>(pts.data()),
+            static_cast<std::streamsize>(n * sizeof(Point)));
+    if (!is.good()) {
+      return Status::InvalidArgument(path + ": truncated trajectory " +
+                                     std::to_string(i));
+    }
+    out->Add(pts);
+  }
+  return Status::OK();
+}
+
+Status SaveTrajectoryCsv(const std::string& path, const TrajectorySet& set) {
+  std::ofstream os(path);
+  if (!os) {
+    return Status::IOError("cannot write " + path + ": " +
+                           std::strerror(errno));
+  }
+  os.precision(3);
+  os << std::fixed;
+  for (uint32_t id = 0; id < set.size(); ++id) {
+    bool first = true;
+    for (const Point& p : set.points(id)) {
+      if (!first) os << ';';
+      os << p.x << ',' << p.y;
+      first = false;
+    }
+    os << '\n';
+  }
+  if (!os.good()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace tq

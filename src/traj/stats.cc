@@ -1,0 +1,33 @@
+#include "traj/stats.h"
+
+#include <cstdio>
+
+namespace tq {
+
+DatasetStats ComputeStats(const TrajectorySet& set) {
+  DatasetStats s;
+  s.num_trajectories = set.size();
+  s.total_points = set.TotalPoints();
+  s.avg_points = set.empty() ? 0.0
+                             : static_cast<double>(s.total_points) /
+                                   static_cast<double>(s.num_trajectories);
+  double total_len = 0.0;
+  for (uint32_t id = 0; id < set.size(); ++id) total_len += set.length(id);
+  s.avg_length = set.empty() ? 0.0
+                             : total_len /
+                                   static_cast<double>(s.num_trajectories);
+  s.extent = set.BoundingBox();
+  return s;
+}
+
+std::string DatasetStats::ToString(const std::string& name) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-12s trajectories=%-9zu points=%-9zu avg_pts=%5.2f "
+                "avg_len_m=%8.1f",
+                name.c_str(), num_trajectories, total_points, avg_points,
+                avg_length);
+  return buf;
+}
+
+}  // namespace tq

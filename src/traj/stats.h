@@ -1,0 +1,26 @@
+// Dataset summary statistics (the numbers behind Tables I and II).
+#ifndef TQCOVER_TRAJ_STATS_H_
+#define TQCOVER_TRAJ_STATS_H_
+
+#include <string>
+
+#include "traj/dataset.h"
+
+namespace tq {
+
+/// Summary of a trajectory set.
+struct DatasetStats {
+  size_t num_trajectories = 0;
+  size_t total_points = 0;
+  double avg_points = 0.0;
+  double avg_length = 0.0;
+  Rect extent;
+
+  std::string ToString(const std::string& name) const;
+};
+
+DatasetStats ComputeStats(const TrajectorySet& set);
+
+}  // namespace tq
+
+#endif  // TQCOVER_TRAJ_STATS_H_

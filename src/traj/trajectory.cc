@@ -1,0 +1,6 @@
+#include "traj/trajectory.h"
+
+// TrajectoryView and SegmentRef are header-only; this translation unit exists
+// so the build exposes a stable object for the module.
+
+namespace tq {}  // namespace tq

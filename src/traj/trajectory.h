@@ -1,0 +1,43 @@
+// Trajectory identifiers and views.
+//
+// Trajectories are stored columnar (one flat point array + offsets) in
+// TrajectorySet; a TrajectoryView is a cheap non-owning window, following the
+// Slice idiom of storage engines.
+#ifndef TQCOVER_TRAJ_TRAJECTORY_H_
+#define TQCOVER_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace tq {
+
+/// Index of a user trajectory within its TrajectorySet.
+using UserId = uint32_t;
+/// Index of a facility trajectory within its TrajectorySet.
+using FacilityId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+/// Non-owning view of one trajectory.
+struct TrajectoryView {
+  uint32_t id = kInvalidId;
+  std::span<const Point> points;
+
+  size_t NumPoints() const { return points.size(); }
+  const Point& Source() const { return points.front(); }
+  const Point& Destination() const { return points.back(); }
+};
+
+/// One segment (consecutive point pair) of a trajectory — the unit stored by
+/// the Segmented TQ-tree (§III-A).
+struct SegmentRef {
+  uint32_t traj_id = kInvalidId;
+  uint32_t seg_index = 0;  // segment (i) connects points (i) and (i+1)
+};
+
+}  // namespace tq
+
+#endif  // TQCOVER_TRAJ_TRAJECTORY_H_

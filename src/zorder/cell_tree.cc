@@ -1,0 +1,166 @@
+#include "zorder/cell_tree.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "geom/distance.h"
+
+namespace tq {
+
+CellTree::CellTree(const Rect& world, std::span<const Point> points,
+                   size_t beta)
+    : world_(world) {
+  TQ_CHECK(beta > 0);
+  nodes_.push_back(Node{ZId{}, world, -1});
+  std::vector<Point> owned(points.begin(), points.end());
+  Build(0, std::move(owned), beta);
+}
+
+void CellTree::Build(int32_t node_index, std::vector<Point>&& points,
+                     size_t beta) {
+  if (points.size() <= beta || nodes_[node_index].id.depth >= kMaxZDepth) {
+    ++num_leaves_;
+    return;
+  }
+  std::array<std::vector<Point>, 4> parts;
+  {
+    const Rect rect = nodes_[node_index].rect;
+    for (const Point& p : points) {
+      parts[static_cast<size_t>(rect.QuadrantOf(p))].push_back(p);
+    }
+    points.clear();
+  }
+  const auto first = static_cast<int32_t>(nodes_.size());
+  nodes_[node_index].first_child = first;
+  for (int q = 0; q < 4; ++q) {
+    const Node& parent = nodes_[node_index];
+    nodes_.push_back(
+        Node{parent.id.Child(q), parent.rect.Quadrant(q), -1});
+  }
+  for (int q = 0; q < 4; ++q) {
+    Build(first + q, std::move(parts[static_cast<size_t>(q)]), beta);
+  }
+}
+
+ZId CellTree::Locate(const Point& p) const {
+  int32_t idx = 0;
+  while (!nodes_[static_cast<size_t>(idx)].IsLeaf()) {
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    idx = n.first_child + n.rect.QuadrantOf(p);
+  }
+  return nodes_[static_cast<size_t>(idx)].id;
+}
+
+std::vector<ZId> CellTree::CoverIntersecting(const Rect& query,
+                                             double expand) const {
+  std::vector<ZId> out;
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    const Rect probe = expand > 0.0 ? n.rect.Expanded(expand) : n.rect;
+    if (!probe.Intersects(query)) continue;
+    if (n.IsLeaf()) {
+      out.push_back(n.id);
+    } else {
+      // Push in reverse so children pop in Morton order → ascending keys.
+      for (int q = 3; q >= 0; --q) stack.push_back(n.first_child + q);
+    }
+  }
+  return out;
+}
+
+ZKeyRanges CellTree::CoverRanges(const Rect& query, double expand) const {
+  const std::vector<ZId> cells = CoverIntersecting(query, expand);
+  ZKeyRanges ranges;
+  for (const ZId& c : cells) {
+    const uint64_t begin = c.RangeBegin();
+    const uint64_t end = c.RangeEnd();
+    if (!ranges.empty() && ranges.back().second == begin) {
+      ranges.back().second = end;  // merge adjacent cells
+    } else {
+      ranges.emplace_back(begin, end);
+    }
+  }
+  return ranges;
+}
+
+namespace {
+
+void AppendRange(ZKeyRanges* ranges, uint64_t begin, uint64_t end) {
+  if (!ranges->empty() && ranges->back().second == begin) {
+    ranges->back().second = end;
+  } else {
+    ranges->emplace_back(begin, end);
+  }
+}
+
+}  // namespace
+
+ZKeyRanges CellTree::CoverRangesNearStops(std::span<const Point> stops,
+                                          double psi,
+                                          size_t* covered_leaves) const {
+  ZKeyRanges ranges;
+  CoverRangesNearStopsInto(stops, psi, &ranges, covered_leaves);
+  return ranges;
+}
+
+void CellTree::CoverRangesNearStopsInto(std::span<const Point> stops,
+                                        double psi, ZKeyRanges* out,
+                                        size_t* covered_leaves) const {
+  out->clear();
+  size_t leaves = 0;
+  if (covered_leaves != nullptr) *covered_leaves = 0;
+  if (stops.empty()) return;
+  // DFS in Morton order, narrowing the relevant stop subset per subtree so
+  // the walk only descends along the corridor. The subset stack lives in one
+  // shared buffer (append on descent, truncate on return) so the walk does
+  // not allocate per node; the buffer itself is reused across calls.
+  static thread_local std::vector<uint32_t> buf;
+  buf.clear();
+  for (uint32_t si = 0; si < stops.size(); ++si) {
+    if (DiskIntersectsRect(stops[si], psi, nodes_[0].rect)) {
+      buf.push_back(si);
+    }
+  }
+  if (buf.empty()) return;
+
+  auto walk = [&](auto&& self, int32_t idx, size_t begin,
+                  size_t end) -> void {
+    const Node& n = nodes_[static_cast<size_t>(idx)];
+    if (n.IsLeaf()) {
+      AppendRange(out, n.id.RangeBegin(), n.id.RangeEnd());
+      ++leaves;
+      return;
+    }
+    for (int q = 0; q < 4; ++q) {
+      const int32_t child = n.first_child + q;
+      const Rect& crect = nodes_[static_cast<size_t>(child)].rect;
+      const size_t child_begin = buf.size();
+      for (size_t i = begin; i < end; ++i) {
+        if (DiskIntersectsRect(stops[buf[i]], psi, crect)) {
+          buf.push_back(buf[i]);
+        }
+      }
+      const size_t child_end = buf.size();
+      if (child_end > child_begin) self(self, child, child_begin, child_end);
+      buf.resize(child_begin);
+    }
+  };
+  walk(walk, 0, 0, buf.size());
+  if (covered_leaves != nullptr) *covered_leaves = leaves;
+}
+
+bool RangesContain(const ZKeyRanges& ranges, uint64_t key) {
+  // First range with end > key; key is inside iff that range starts <= key.
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), key,
+      [](uint64_t k, const std::pair<uint64_t, uint64_t>& r) {
+        return k < r.second;
+      });
+  return it != ranges.end() && it->first <= key;
+}
+
+}  // namespace tq

@@ -1,0 +1,89 @@
+// Adaptive z-order cell tree.
+//
+// Implements the paper's "ordered bucketing" subdivision (§III): the space of
+// a q-node is recursively partitioned until every cell holds at most β points
+// (start points or end points of the node's trajectories). Leaf cells carry
+// variable-depth ZIds; locating a point yields its z-id, and covering a query
+// rectangle yields the sorted, merged key ranges used by zReduce.
+#ifndef TQCOVER_ZORDER_CELL_TREE_H_
+#define TQCOVER_ZORDER_CELL_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+#include "zorder/zid.h"
+
+namespace tq {
+
+/// Sorted half-open key ranges [first, second) over full-depth Morton keys.
+using ZKeyRanges = std::vector<std::pair<uint64_t, uint64_t>>;
+
+/// Quadtree over a fixed point multiset, subdividing while a cell holds more
+/// than `beta` points (up to kMaxZDepth). Immutable after construction.
+class CellTree {
+ public:
+  CellTree(const Rect& world, std::span<const Point> points, size_t beta);
+
+  const Rect& world() const { return world_; }
+  size_t num_leaves() const { return num_leaves_; }
+
+  /// Leaf cell containing `p` (clamped into the world box).
+  ZId Locate(const Point& p) const;
+
+  /// All leaf cells whose rectangle intersects `query`, in ascending key
+  /// order. `expand` grows each cell before the test (pass ψ to find cells a
+  /// facility can serve "fully or partially", Example 4).
+  std::vector<ZId> CoverIntersecting(const Rect& query,
+                                     double expand = 0.0) const;
+
+  /// Same cover, but returned as merged contiguous key ranges — the form
+  /// zReduce consumes for range scans over the sorted trajectory list.
+  ZKeyRanges CoverRanges(const Rect& query, double expand = 0.0) const;
+
+  /// Merged key ranges of leaf cells that intersect the ψ-corridor of a stop
+  /// set — cells with at least one stop within `psi` (the paper's "the stop
+  /// points in G are within ψ distance to serve ... portions of these
+  /// z-nodes", Example 4). Far tighter than CoverRanges over the stops'
+  /// bounding box when the stops trace a long thin route. Stops are filtered
+  /// per subtree during the descent, so cost tracks the corridor, not the
+  /// whole tree.
+  ///
+  /// `covered_leaves` (optional) receives the number of leaf cells in the
+  /// cover; leaves hold ≤ β points each, so covered/total approximates the
+  /// fraction of indexed points the filter would let through — the
+  /// selectivity estimate zReduce uses to decide whether filtering pays.
+  ZKeyRanges CoverRangesNearStops(std::span<const Point> stops, double psi,
+                                  size_t* covered_leaves = nullptr) const;
+
+  /// Allocation-light variant for hot paths: appends into `*out` (cleared
+  /// first); scratch space is reused across calls via thread-local buffers.
+  void CoverRangesNearStopsInto(std::span<const Point> stops, double psi,
+                                ZKeyRanges* out,
+                                size_t* covered_leaves = nullptr) const;
+
+ private:
+  struct Node {
+    ZId id;
+    Rect rect;
+    int32_t first_child = -1;  // index of child 0; children are contiguous
+    bool IsLeaf() const { return first_child < 0; }
+  };
+
+  void Build(int32_t node_index, std::vector<Point>&& points, size_t beta);
+
+  Rect world_;
+  std::vector<Node> nodes_;
+  size_t num_leaves_ = 0;
+};
+
+/// True iff `key` (a full-depth Morton key) falls inside one of the sorted,
+/// disjoint `ranges`. Binary search.
+bool RangesContain(const ZKeyRanges& ranges, uint64_t key);
+
+}  // namespace tq
+
+#endif  // TQCOVER_ZORDER_CELL_TREE_H_

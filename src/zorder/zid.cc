@@ -1,0 +1,74 @@
+#include "zorder/zid.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tq {
+
+ZId ZId::Child(int quadrant) const {
+  TQ_DCHECK(depth < kMaxZDepth);
+  ZId c;
+  c.depth = static_cast<uint8_t>(depth + 1);
+  c.key = key | (static_cast<uint64_t>(quadrant & 3)
+                 << (2 * (kMaxZDepth - depth - 1)));
+  return c;
+}
+
+std::string ZId::ToString() const {
+  if (depth == 0) return "ε";
+  std::string out;
+  for (int level = 0; level < depth; ++level) {
+    const int q =
+        static_cast<int>((key >> (2 * (kMaxZDepth - level - 1))) & 3);
+    if (level > 0) out.push_back('.');
+    out.push_back(static_cast<char>('0' + q));
+  }
+  return out;
+}
+
+namespace {
+
+// Spreads the low 32 bits of x so there is a zero bit between each.
+uint64_t SpreadBits(uint64_t x) {
+  x &= 0xFFFFFFFFULL;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint32_t GridCoord(double v, double lo, double extent) {
+  if (extent <= 0.0) return 0;
+  const double t = (v - lo) / extent;
+  const double scaled = t * static_cast<double>(1u << kMaxZDepth);
+  const auto max_cell = static_cast<int64_t>((1u << kMaxZDepth) - 1);
+  const int64_t cell = std::clamp(static_cast<int64_t>(scaled),
+                                  static_cast<int64_t>(0), max_cell);
+  return static_cast<uint32_t>(cell);
+}
+
+}  // namespace
+
+uint64_t MortonKey(const Rect& world, const Point& p) {
+  const uint32_t ix = GridCoord(p.x, world.min_x, world.Width());
+  const uint32_t iy = GridCoord(p.y, world.min_y, world.Height());
+  // Quadrant numbering: bit0 = x-half, bit1 = y-half, matching
+  // Rect::QuadrantOf. The most significant quadrant pair ends up at bit
+  // position 2*kMaxZDepth - 2.
+  return SpreadBits(ix) | (SpreadBits(iy) << 1);
+}
+
+Rect CellRect(const Rect& world, const ZId& id) {
+  Rect r = world;
+  for (int level = 0; level < id.depth; ++level) {
+    const int q =
+        static_cast<int>((id.key >> (2 * (kMaxZDepth - level - 1))) & 3);
+    r = r.Quadrant(q);
+  }
+  return r;
+}
+
+}  // namespace tq

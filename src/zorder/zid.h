@@ -1,0 +1,69 @@
+// Variable-depth Morton (z-order) identifiers.
+//
+// The paper assigns hierarchical z-ids like "0.0", "1.2" or "2" to adaptively
+// subdivided quadrants of a q-node (§III, Example 3). We encode such a
+// quadrant *path* as a left-aligned 64-bit key plus a depth:
+//
+//   key   = q1 q2 ... qd 00...0   (2 bits per level, most-significant first)
+//   depth = d                      (0 = the whole node)
+//
+// Left-aligned keys give two properties the index relies on:
+//   * lexicographic order of paths == integer order of keys, and
+//   * a cell at depth d owns the contiguous key range
+//     [key, key + 4^(kMaxZDepth - d)), so "trajectory's z-id falls inside a
+//     covered cell" becomes a range test over a sorted list (zReduce).
+#ifndef TQCOVER_ZORDER_ZID_H_
+#define TQCOVER_ZORDER_ZID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace tq {
+
+/// Maximum subdivision depth. 24 levels × 2 bits = 48 bits of key, enough to
+/// resolve ~2.4 mm cells in a 40 km extent.
+inline constexpr int kMaxZDepth = 24;
+
+/// A z-order cell identifier (quadrant path) of variable depth.
+struct ZId {
+  uint64_t key = 0;
+  uint8_t depth = 0;
+
+  /// Number of key values owned by this cell.
+  uint64_t RangeSize() const {
+    return uint64_t{1} << (2 * (kMaxZDepth - depth));
+  }
+  uint64_t RangeBegin() const { return key; }
+  uint64_t RangeEnd() const { return key + RangeSize(); }
+
+  /// True iff this cell (as an ancestor-or-self) contains `other`.
+  bool Contains(const ZId& other) const {
+    return depth <= other.depth && other.key >= RangeBegin() &&
+           other.key < RangeEnd();
+  }
+
+  /// Child cell in Morton quadrant order (0=SW, 1=SE, 2=NW, 3=NE).
+  ZId Child(int quadrant) const;
+
+  /// Paper-style rendering, e.g. "0.3" for path SW→NE; "ε" for the root.
+  std::string ToString() const;
+
+  bool operator==(const ZId& o) const = default;
+  auto operator<=>(const ZId& o) const = default;  // (key, depth) order
+};
+
+/// Full-depth Morton key of `p` inside `world` (bit-interleaved grid index at
+/// kMaxZDepth levels). Used as a total-order tie-break when two trajectories
+/// share the same adaptive cell — the paper's "partitioned until the end
+/// point of each such trajectory is assigned a different z-id".
+uint64_t MortonKey(const Rect& world, const Point& p);
+
+/// The rectangle covered by cell `id` inside `world`.
+Rect CellRect(const Rect& world, const ZId& id);
+
+}  // namespace tq
+
+#endif  // TQCOVER_ZORDER_ZID_H_

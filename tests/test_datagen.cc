@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "datagen/presets.h"
+#include "traj/stats.h"
+
+namespace tq {
+namespace {
+
+TEST(CityModel, SamplesStayInsideExtent) {
+  const CityModel city = presets::NewYork();
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(city.extent().Contains(city.SamplePoint(&rng)));
+  }
+}
+
+TEST(CityModel, HotspotWeightsAreSkewed) {
+  const CityModel city = presets::NewYork();
+  Rng rng(43);
+  std::vector<size_t> counts(city.hotspots().size(), 0);
+  for (int i = 0; i < 10000; ++i) counts[city.SampleHotspot(&rng)]++;
+  // First hotspot (heaviest Zipf weight) dominates the last.
+  EXPECT_GT(counts.front(), counts.back() * 2);
+}
+
+TEST(TaxiTrips, DeterministicAndTwoPoint) {
+  const TrajectorySet a = presets::NytTrips(500);
+  const TrajectorySet b = presets::NytTrips(500);
+  ASSERT_EQ(a.size(), 500u);
+  ASSERT_EQ(b.size(), 500u);
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.NumPoints(i), 2u);
+    EXPECT_EQ(a.points(i)[0], b.points(i)[0]);
+    EXPECT_EQ(a.points(i)[1], b.points(i)[1]);
+  }
+}
+
+TEST(Checkins, MultipointWithBoundedLength) {
+  const TrajectorySet set = presets::NyfCheckins(300);
+  ASSERT_EQ(set.size(), 300u);
+  for (uint32_t i = 0; i < set.size(); ++i) {
+    EXPECT_GE(set.NumPoints(i), 3u);
+    EXPECT_LE(set.NumPoints(i), 10u);
+  }
+}
+
+TEST(GpsTraces, LongMultipointInsideExtent) {
+  const TrajectorySet set = presets::BjgTraces(200);
+  const CityModel city = presets::Beijing();
+  ASSERT_EQ(set.size(), 200u);
+  for (uint32_t i = 0; i < set.size(); ++i) {
+    EXPECT_GE(set.NumPoints(i), 10u);
+    for (const Point& p : set.points(i)) {
+      EXPECT_TRUE(city.extent().Contains(p));
+    }
+  }
+}
+
+TEST(BusRoutes, ExactStopCountsAndEvenSpacing) {
+  const TrajectorySet routes = presets::NyBusRoutes(20, 32);
+  ASSERT_EQ(routes.size(), 20u);
+  for (uint32_t r = 0; r < routes.size(); ++r) {
+    ASSERT_EQ(routes.NumPoints(r), 32u);
+    const auto pts = routes.points(r);
+    // Consecutive stops should be roughly evenly spaced (resampling).
+    std::vector<double> gaps;
+    for (size_t i = 1; i < pts.size(); ++i) {
+      gaps.push_back(Distance(pts[i - 1], pts[i]));
+    }
+    double mean = 0;
+    for (const double g : gaps) mean += g;
+    mean /= static_cast<double>(gaps.size());
+    if (mean > 1.0) {
+      size_t outliers = 0;
+      for (const double g : gaps) {
+        if (g > 3 * mean) ++outliers;
+      }
+      EXPECT_LE(outliers, gaps.size() / 4) << "route " << r;
+    }
+  }
+}
+
+TEST(BusRoutes, DifferentCitiesDiffer) {
+  const TrajectorySet ny = presets::NyBusRoutes(5, 16);
+  const TrajectorySet bj = presets::BjBusRoutes(5, 16);
+  bool any_diff = false;
+  for (uint32_t r = 0; r < 5 && !any_diff; ++r) {
+    any_diff = !(ny.points(r)[0] == bj.points(r)[0]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Presets, UserSweepMatchesTableIII) {
+  const auto full = presets::NytUserSweep(1.0);
+  ASSERT_EQ(full.size(), 4u);
+  EXPECT_EQ(full[0], 203308u);
+  EXPECT_EQ(full[3], 1032637u);
+  const auto scaled = presets::NytUserSweep(0.1);
+  EXPECT_EQ(scaled[0], 20331u);
+}
+
+TEST(Presets, StatsLookLikeTheirRealCounterparts) {
+  // Shape checks: taxi trips are 2-point; check-ins average ~6 points;
+  // GPS traces have far more points and kilometre-scale length.
+  const DatasetStats nyt = ComputeStats(presets::NytTrips(2000));
+  const DatasetStats nyf = ComputeStats(presets::NyfCheckins(500));
+  const DatasetStats bjg = ComputeStats(presets::BjgTraces(200));
+  EXPECT_DOUBLE_EQ(nyt.avg_points, 2.0);
+  EXPECT_GT(nyf.avg_points, 3.0);
+  EXPECT_LT(nyf.avg_points, 10.0);
+  EXPECT_GT(bjg.avg_points, nyf.avg_points);
+  EXPECT_GT(bjg.avg_length, 1000.0);
+}
+
+}  // namespace
+}  // namespace tq

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geom/distance.h"
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace tq {
+namespace {
+
+TEST(Point, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Rect, ContainsAndIntersects) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  EXPECT_TRUE(r.Contains({5, 5}));
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({10, 10}));  // closed
+  EXPECT_FALSE(r.Contains({10.01, 5}));
+  EXPECT_TRUE(r.Intersects(Rect::Of(9, 9, 12, 12)));
+  EXPECT_TRUE(r.Intersects(Rect::Of(10, 0, 12, 2)));  // edge touch
+  EXPECT_FALSE(r.Intersects(Rect::Of(11, 11, 12, 12)));
+}
+
+TEST(Rect, EmptyUnionsAsIdentity) {
+  Rect e = Rect::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  const Rect r = Rect::Of(1, 2, 3, 4);
+  EXPECT_EQ(e.UnionWith(r), r);
+}
+
+TEST(Rect, QuadrantsPartitionTheRect) {
+  const Rect r = Rect::Of(0, 0, 8, 8);
+  EXPECT_EQ(r.Quadrant(0), Rect::Of(0, 0, 4, 4));  // SW
+  EXPECT_EQ(r.Quadrant(1), Rect::Of(4, 0, 8, 4));  // SE
+  EXPECT_EQ(r.Quadrant(2), Rect::Of(0, 4, 4, 8));  // NW
+  EXPECT_EQ(r.Quadrant(3), Rect::Of(4, 4, 8, 8));  // NE
+}
+
+TEST(Rect, QuadrantOfMatchesQuadrantRects) {
+  const Rect r = Rect::Of(-10, -10, 10, 10);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.NextUniform(-10, 10), rng.NextUniform(-10, 10)};
+    EXPECT_TRUE(r.Quadrant(r.QuadrantOf(p)).Contains(p));
+  }
+}
+
+TEST(Rect, QuadrantOfBoundaryGoesToUpperQuadrant) {
+  const Rect r = Rect::Of(0, 0, 8, 8);
+  EXPECT_EQ(r.QuadrantOf({4, 4}), 3);  // centre → NE
+  EXPECT_EQ(r.QuadrantOf({4, 0}), 1);  // x-split → east side
+  EXPECT_EQ(r.QuadrantOf({0, 4}), 2);  // y-split → north side
+}
+
+TEST(Rect, ExpandedGrowsEverySide) {
+  const Rect r = Rect::Of(2, 3, 4, 5).Expanded(1.5);
+  EXPECT_EQ(r, Rect::Of(0.5, 1.5, 5.5, 6.5));
+}
+
+TEST(Rect, BoundingBox) {
+  const Point pts[] = {{1, 7}, {-2, 3}, {5, -1}};
+  const Rect r = Rect::BoundingBox(pts);
+  EXPECT_EQ(r, Rect::Of(-2, -1, 5, 7));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer = Rect::Of(0, 0, 10, 10);
+  EXPECT_TRUE(outer.ContainsRect(Rect::Of(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.ContainsRect(outer));
+  EXPECT_FALSE(outer.ContainsRect(Rect::Of(1, 1, 11, 9)));
+}
+
+TEST(MinDistance, InsideIsZero) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(MinDistance(r, {5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(r, {0, 10}), 0.0);
+}
+
+TEST(MinDistance, OutsideMatchesGeometry) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(MinDistance(r, {13, 14}), 5.0);  // corner
+  EXPECT_DOUBLE_EQ(MinDistance(r, {-3, 5}), 3.0);   // edge
+}
+
+TEST(Distance, WithinPsiOfAny) {
+  const Point stops[] = {{0, 0}, {100, 100}};
+  EXPECT_TRUE(WithinPsiOfAny({3, 4}, stops, 5.0));
+  EXPECT_TRUE(WithinPsiOfAny({103, 104}, stops, 5.0));
+  EXPECT_FALSE(WithinPsiOfAny({50, 50}, stops, 5.0));
+  EXPECT_TRUE(WithinPsiOfAny({3, 4}, stops, 5.0 - 1e-12) == false);
+}
+
+TEST(Distance, PolylineLength) {
+  const Point pts[] = {{0, 0}, {3, 4}, {3, 10}};
+  EXPECT_DOUBLE_EQ(PolylineLength(pts), 11.0);
+  const Point single[] = {{1, 1}};
+  EXPECT_DOUBLE_EQ(PolylineLength(single), 0.0);
+}
+
+TEST(Distance, DiskIntersectsRect) {
+  const Rect r = Rect::Of(0, 0, 10, 10);
+  EXPECT_TRUE(DiskIntersectsRect({12, 5}, 2.0, r));
+  EXPECT_FALSE(DiskIntersectsRect({13, 5}, 2.0, r));
+  EXPECT_TRUE(DiskIntersectsRect({5, 5}, 0.1, r));  // inside
+}
+
+}  // namespace
+}  // namespace tq

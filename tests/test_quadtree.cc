@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "quadtree/point_quadtree.h"
+#include "test_util.h"
+
+namespace tq {
+namespace {
+
+std::vector<PointEntry> RandomEntries(Rng* rng, size_t n, const Rect& w) {
+  std::vector<PointEntry> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(PointEntry{
+        Point{rng->NextUniform(w.min_x, w.max_x),
+              rng->NextUniform(w.min_y, w.max_y)},
+        static_cast<uint32_t>(i / 3), static_cast<uint32_t>(i % 3)});
+  }
+  return out;
+}
+
+TEST(PointQuadtree, SizeTracksInserts) {
+  PointQuadtree qt(Rect::Of(0, 0, 100, 100), 4);
+  EXPECT_EQ(qt.size(), 0u);
+  qt.Insert(PointEntry{{1, 1}, 0, 0});
+  qt.Insert(PointEntry{{2, 2}, 0, 1});
+  EXPECT_EQ(qt.size(), 2u);
+}
+
+TEST(PointQuadtree, DiskQueryMatchesBruteForce) {
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  Rng rng(101);
+  const auto entries = RandomEntries(&rng, 800, w);
+  PointQuadtree qt(w, 8);
+  for (const auto& e : entries) qt.Insert(e);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point c{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)};
+    const double r = rng.NextUniform(10, 200);
+    auto got = qt.DiskQuery(c, r);
+    size_t expected = 0;
+    for (const auto& e : entries) {
+      if (Distance(e.p, c) <= r) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected) << "trial " << trial;
+    for (const auto& e : got) EXPECT_LE(Distance(e.p, c), r);
+  }
+}
+
+TEST(PointQuadtree, RangeQueryMatchesBruteForce) {
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  Rng rng(103);
+  const auto entries = RandomEntries(&rng, 600, w);
+  PointQuadtree qt(w, 16);
+  for (const auto& e : entries) qt.Insert(e);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x = rng.NextUniform(0, 900), y = rng.NextUniform(0, 900);
+    const Rect q = Rect::Of(x, y, x + rng.NextUniform(10, 100),
+                            y + rng.NextUniform(10, 100));
+    const auto got = qt.RangeQuery(q);
+    size_t expected = 0;
+    for (const auto& e : entries) {
+      if (q.Contains(e.p)) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected);
+  }
+}
+
+TEST(PointQuadtree, PayloadsSurviveSplits) {
+  PointQuadtree qt(Rect::Of(0, 0, 100, 100), 2);  // force many splits
+  for (uint32_t i = 0; i < 100; ++i) {
+    qt.Insert(PointEntry{{static_cast<double>(i % 10) * 10 + 0.5,
+                          static_cast<double>(i / 10) * 10 + 0.5},
+                         i, i + 1000});
+  }
+  const auto all = qt.RangeQuery(Rect::Of(0, 0, 100, 100));
+  ASSERT_EQ(all.size(), 100u);
+  for (const auto& e : all) EXPECT_EQ(e.point_index, e.traj_id + 1000);
+}
+
+TEST(PointQuadtree, DuplicatePointsBeyondCapacity) {
+  // All points identical: splits cannot separate them; max_depth must stop
+  // the recursion rather than looping forever.
+  PointQuadtree qt(Rect::Of(0, 0, 100, 100), 2, 8);
+  for (uint32_t i = 0; i < 50; ++i) {
+    qt.Insert(PointEntry{{50, 50}, i, 0});
+  }
+  EXPECT_EQ(qt.size(), 50u);
+  EXPECT_EQ(qt.DiskQuery({50, 50}, 0.001).size(), 50u);
+}
+
+TEST(PointQuadtree, InsertAllIndexesEveryPoint) {
+  Rng rng(105);
+  const TrajectorySet users =
+      testing::RandomUsers(&rng, 50, 2, 6, Rect::Of(0, 0, 1000, 1000));
+  PointQuadtree qt(users.BoundingBox().Expanded(1.0), 8);
+  qt.InsertAll(users);
+  EXPECT_EQ(qt.size(), users.TotalPoints());
+  // Every (traj, point) pair must be retrievable at its own location.
+  for (uint32_t u = 0; u < users.size(); ++u) {
+    const auto pts = users.points(u);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      bool found = false;
+      qt.ForEachInDisk(pts[i], 0.001, [&](const PointEntry& e) {
+        found |= (e.traj_id == u && e.point_index == i);
+      });
+      EXPECT_TRUE(found) << "traj " << u << " point " << i;
+    }
+  }
+}
+
+TEST(PointQuadtree, EmptyQueries) {
+  PointQuadtree qt(Rect::Of(0, 0, 10, 10), 4);
+  EXPECT_TRUE(qt.DiskQuery({5, 5}, 3).empty());
+  EXPECT_TRUE(qt.RangeQuery(Rect::Of(1, 1, 2, 2)).empty());
+}
+
+}  // namespace
+}  // namespace tq

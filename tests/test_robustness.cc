@@ -1,0 +1,219 @@
+// Robustness: inputs that stress boundary paths — points outside the built
+// world, extreme ψ (adaptive zReduce fallback), degenerate facilities,
+// mixed-length trajectories.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/eval_service.h"
+#include "query/topk.h"
+#include "test_util.h"
+
+namespace tq {
+namespace {
+
+TEST(Robustness, InsertOutsideOriginalWorldStaysQueryable) {
+  // The tree's world is fixed at construction; trajectories added beyond it
+  // must still be indexed (they become root inter-node units) and served.
+  Rng rng(1301);
+  TrajectorySet users =
+      testing::RandomUsers(&rng, 200, 2, 2, Rect::Of(0, 0, 1000, 1000));
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = ServiceModel::Endpoints(100.0);
+  TQTree tree(&users, opt);
+  // New trips far outside the original extent.
+  for (int i = 0; i < 20; ++i) {
+    const double x = 5000.0 + 10.0 * i;
+    const Point t[] = {{x, 5000}, {x + 20, 5020}};
+    tree.Insert(users.Add(t));
+  }
+  const ServiceEvaluator eval(&users, opt.model);
+  const std::vector<Point> stops = {{5100, 5000}, {5100, 5050}};
+  const StopGrid grid(stops, opt.model.psi);
+  EXPECT_NEAR(EvaluateServiceTQ(&tree, eval, grid),
+              testing::BruteForceSO(users, stops, opt.model), 1e-9);
+}
+
+TEST(Robustness, HugePsiTriggersFallbacksAndStaysExact) {
+  // ψ = half the city: corridors blanket every node, so the adaptive
+  // plain-scan fallback carries the query — answers must not change.
+  Rng rng(1303);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 400, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 6, 8, w);
+  const ServiceModel model = ServiceModel::Endpoints(5000.0);
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, model);
+  for (uint32_t f = 0; f < facs.size(); ++f) {
+    const StopGrid grid(facs.points(f), model.psi);
+    EXPECT_NEAR(EvaluateServiceTQ(&tree, eval, grid),
+                testing::BruteForceSO(users, facs.points(f), model), 1e-9);
+  }
+}
+
+TEST(Robustness, TinyPsiServesAlmostNothingButExactly) {
+  Rng rng(1305);
+  const Rect w = Rect::Of(0, 0, 50000, 50000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 500, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 6, 8, w);
+  const ServiceModel model = ServiceModel::Endpoints(0.5);  // half a metre
+  TQTreeOptions opt;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, model);
+  for (uint32_t f = 0; f < facs.size(); ++f) {
+    const StopGrid grid(facs.points(f), model.psi);
+    EXPECT_NEAR(EvaluateServiceTQ(&tree, eval, grid),
+                testing::BruteForceSO(users, facs.points(f), model), 1e-12);
+  }
+}
+
+TEST(Robustness, SingleStopFacility) {
+  TrajectorySet users;
+  const Point near_t[] = {{100, 100}, {110, 110}};
+  const Point far_t[] = {{100, 100}, {5000, 5000}};
+  users.Add(near_t);
+  users.Add(far_t);
+  TQTreeOptions opt;
+  opt.model = ServiceModel::Endpoints(50.0);
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, opt.model);
+  const std::vector<Point> one_stop = {{105, 105}};
+  const StopGrid grid(one_stop, opt.model.psi);
+  // Only the first user has both endpoints within 50 m of the single stop.
+  EXPECT_DOUBLE_EQ(EvaluateServiceTQ(&tree, eval, grid), 1.0);
+}
+
+TEST(Robustness, MixedLengthTrajectoriesInOneSegmentedTree) {
+  // Single-point, two-point and long trajectories coexisting in a segmented
+  // tree under the point-count model.
+  TrajectorySet users;
+  const Point single[] = {{500, 500}};
+  users.Add(single);
+  const Point pair[] = {{510, 500}, {520, 500}};
+  users.Add(pair);
+  std::vector<Point> longer;
+  for (int i = 0; i < 12; ++i) {
+    longer.push_back({530.0 + 10.0 * i, 500.0});
+  }
+  users.Add(longer);
+  const ServiceModel model = ServiceModel::PointCount(15.0);
+  TQTreeOptions opt;
+  opt.beta = 2;
+  opt.mode = TrajMode::kSegmented;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, model);
+  const std::vector<Point> stops = {{505, 500}, {620, 500}};
+  const StopGrid grid(stops, model.psi);
+  EXPECT_NEAR(EvaluateServiceTQ(&tree, eval, grid),
+              testing::BruteForceSO(users, stops, model), 1e-12);
+}
+
+TEST(Robustness, AllUsersIdenticalTopKStillRanksFacilities) {
+  TrajectorySet users;
+  for (int i = 0; i < 200; ++i) {
+    const Point t[] = {{1000, 1000}, {2000, 2000}};
+    users.Add(t);
+  }
+  TrajectorySet facs;
+  const Point serves_both[] = {{1000, 1010}, {2000, 2010}};
+  const Point serves_one[] = {{1000, 1010}, {9000, 9000}};
+  const Point serves_none[] = {{8000, 8000}, {9000, 9000}};
+  facs.Add(serves_both);
+  facs.Add(serves_one);
+  facs.Add(serves_none);
+  const ServiceModel model = ServiceModel::Endpoints(20.0);
+  TQTreeOptions opt;
+  opt.beta = 16;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, model);
+  const FacilityCatalog catalog(&facs, model.psi);
+  const TopKResult top = TopKFacilitiesTQ(&tree, catalog, eval, 3);
+  ASSERT_EQ(top.ranked.size(), 3u);
+  EXPECT_EQ(top.ranked[0].id, 0u);
+  EXPECT_DOUBLE_EQ(top.ranked[0].value, 200.0);
+  EXPECT_DOUBLE_EQ(top.ranked[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(top.ranked[2].value, 0.0);
+}
+
+TEST(Robustness, FacilityIdenticalStops) {
+  // A facility whose stops are all at the same location must behave like a
+  // single stop (grid buckets collapse).
+  TrajectorySet users;
+  const Point t[] = {{100, 100}, {120, 120}};
+  users.Add(t);
+  TQTreeOptions opt;
+  opt.model = ServiceModel::Endpoints(50.0);
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, opt.model);
+  const std::vector<Point> stops(64, Point{110, 110});
+  const StopGrid grid(stops, opt.model.psi);
+  EXPECT_DOUBLE_EQ(EvaluateServiceTQ(&tree, eval, grid), 1.0);
+}
+
+TEST(Robustness, NegativeCoordinateWorld) {
+  // Everything below the origin: exercises sign handling in the stop-grid
+  // cell hash and the Morton grid normalisation.
+  Rng rng(1309);
+  const Rect w = Rect::Of(-20000, -20000, -1000, -1000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 300, 2, 4, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 6, 8, w);
+  for (const ServiceModel& model : testing::AllModels(300.0)) {
+    TQTreeOptions opt;
+    opt.beta = 8;
+    opt.model = model;
+    TQTree tree(&users, opt);
+    const ServiceEvaluator eval(&users, model);
+    for (uint32_t f = 0; f < facs.size(); ++f) {
+      const StopGrid grid(facs.points(f), model.psi);
+      EXPECT_NEAR(EvaluateServiceTQ(&tree, eval, grid),
+                  testing::BruteForceSO(users, facs.points(f), model), 1e-6)
+          << model.ToString();
+    }
+  }
+}
+
+TEST(Robustness, WorldStraddlingOrigin) {
+  Rng rng(1311);
+  const Rect w = Rect::Of(-5000, -5000, 5000, 5000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 300, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 6, 8, w);
+  const ServiceModel model = ServiceModel::Endpoints(200.0);
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, model);
+  for (uint32_t f = 0; f < facs.size(); ++f) {
+    const StopGrid grid(facs.points(f), model.psi);
+    EXPECT_NEAR(EvaluateServiceTQ(&tree, eval, grid),
+                testing::BruteForceSO(users, facs.points(f), model), 1e-9);
+  }
+}
+
+TEST(Robustness, BetaOneDegenerateTree) {
+  // β = 1 forces maximal splitting; answers must not change.
+  Rng rng(1307);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 300, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 4, 8, w);
+  const ServiceModel model = ServiceModel::Endpoints(200.0);
+  TQTreeOptions opt;
+  opt.beta = 1;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  const ServiceEvaluator eval(&users, model);
+  for (uint32_t f = 0; f < facs.size(); ++f) {
+    const StopGrid grid(facs.points(f), model.psi);
+    EXPECT_NEAR(EvaluateServiceTQ(&tree, eval, grid),
+                testing::BruteForceSO(users, facs.points(f), model), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tq

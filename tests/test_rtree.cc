@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/baseline.h"
+#include "rtree/point_rtree.h"
+#include "test_util.h"
+
+namespace tq {
+namespace {
+
+std::vector<PointEntry> RandomEntries(Rng* rng, size_t n, const Rect& w) {
+  std::vector<PointEntry> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(PointEntry{Point{rng->NextUniform(w.min_x, w.max_x),
+                                   rng->NextUniform(w.min_y, w.max_y)},
+                             static_cast<uint32_t>(i / 2),
+                             static_cast<uint32_t>(i % 2)});
+  }
+  return out;
+}
+
+TEST(PointRTree, EmptyTree) {
+  PointRTree rt({});
+  EXPECT_EQ(rt.size(), 0u);
+  EXPECT_TRUE(rt.RangeQuery(Rect::Of(0, 0, 100, 100)).empty());
+  EXPECT_TRUE(rt.DiskQuery({0, 0}, 50).empty());
+}
+
+TEST(PointRTree, RangeQueryMatchesBruteForce) {
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  Rng rng(1101);
+  const auto entries = RandomEntries(&rng, 700, w);
+  const PointRTree rt(entries, 16, 8);
+  EXPECT_EQ(rt.size(), 700u);
+  for (int trial = 0; trial < 25; ++trial) {
+    const double x = rng.NextUniform(0, 900), y = rng.NextUniform(0, 900);
+    const Rect q = Rect::Of(x, y, x + rng.NextUniform(10, 150),
+                            y + rng.NextUniform(10, 150));
+    size_t expected = 0;
+    for (const auto& e : entries) {
+      if (q.Contains(e.p)) ++expected;
+    }
+    EXPECT_EQ(rt.RangeQuery(q).size(), expected) << "trial " << trial;
+  }
+}
+
+TEST(PointRTree, DiskQueryMatchesBruteForce) {
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  Rng rng(1103);
+  const auto entries = RandomEntries(&rng, 500, w);
+  const PointRTree rt(entries, 8, 4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point c{rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)};
+    const double r = rng.NextUniform(20, 200);
+    size_t expected = 0;
+    for (const auto& e : entries) {
+      if (Distance(e.p, c) <= r) ++expected;
+    }
+    EXPECT_EQ(rt.DiskQuery(c, r).size(), expected);
+  }
+}
+
+TEST(PointRTree, AgreesWithQuadtreeOnTrajectories) {
+  Rng rng(1105);
+  const Rect w = Rect::Of(0, 0, 20000, 20000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 300, 2, 5, w);
+  const PointRTree rt = PointRTree::FromTrajectories(users);
+  PointQuadtree pq(users.BoundingBox().Expanded(1.0), 32);
+  pq.InsertAll(users);
+  EXPECT_EQ(rt.size(), pq.size());
+  for (int trial = 0; trial < 15; ++trial) {
+    const double x = rng.NextUniform(0, 15000), y = rng.NextUniform(0, 15000);
+    const Rect q = Rect::Of(x, y, x + 2000, y + 2000);
+    EXPECT_EQ(rt.RangeQuery(q).size(), pq.RangeQuery(q).size());
+  }
+}
+
+TEST(PointRTree, HeightIsLogarithmic) {
+  Rng rng(1107);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const auto entries = RandomEntries(&rng, 10000, w);
+  const PointRTree rt(entries, 64, 16);
+  // 10000/64 ≈ 157 leaves; fanout 16 → 2 internal levels → height 3.
+  EXPECT_GE(rt.height(), 2);
+  EXPECT_LE(rt.height(), 4);
+  EXPECT_TRUE(rt.bounds().Width() > 0);
+}
+
+TEST(BaselineRTree, SameAnswersAsQuadtreeBaseline) {
+  Rng rng(1109);
+  const Rect w = Rect::Of(0, 0, 20000, 20000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 400, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 12, 10, w);
+  const ServiceModel model = ServiceModel::Endpoints(250.0);
+  const ServiceEvaluator eval(&users, model);
+  const FacilityCatalog catalog(&facs, model.psi);
+  PointQuadtree pq(users.BoundingBox().Expanded(1.0), 32);
+  pq.InsertAll(users);
+  const PointRTree rt = PointRTree::FromTrajectories(users);
+  for (uint32_t f = 0; f < catalog.size(); ++f) {
+    EXPECT_NEAR(EvaluateServiceBaselineRTree(rt, eval, catalog.grid(f)),
+                EvaluateServiceBaseline(pq, eval, catalog.grid(f)), 1e-9);
+  }
+  const TopKResult a = TopKFacilitiesBaseline(pq, catalog, eval, 5);
+  const TopKResult b = TopKFacilitiesBaselineRTree(rt, catalog, eval, 5);
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].id, b.ranked[i].id);
+    EXPECT_DOUBLE_EQ(a.ranked[i].value, b.ranked[i].value);
+  }
+}
+
+TEST(PointRTree, DuplicatePointsHandled) {
+  std::vector<PointEntry> entries(100, PointEntry{{42, 17}, 0, 0});
+  const PointRTree rt(entries, 8, 4);
+  EXPECT_EQ(rt.DiskQuery({42, 17}, 0.01).size(), 100u);
+}
+
+}  // namespace
+}  // namespace tq

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "tqtree/aggregates.h"
+#include "tqtree/tq_tree.h"
+
+namespace tq {
+namespace {
+
+TQTreeOptions MakeOptions(IndexVariant variant, TrajMode mode,
+                          ServiceModel model, size_t beta = 8) {
+  TQTreeOptions opt;
+  opt.beta = beta;
+  opt.variant = variant;
+  opt.mode = mode;
+  opt.model = model;
+  return opt;
+}
+
+// Walks the tree checking the §III invariants.
+void CheckStructure(const TQTree& tree) {
+  size_t stored_units = 0;
+  double sum_unit_ub = 0.0;
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const TQNode& n = tree.node(static_cast<int32_t>(i));
+    stored_units += n.entries.size();
+    // Every stored unit's MBR fits the node.
+    for (const TrajEntry& e : n.entries) {
+      EXPECT_TRUE(n.rect.ContainsRect(e.mbr))
+          << "unit " << e.traj_id << " escapes node " << i;
+      sum_unit_ub += e.ub;
+      if (!n.IsLeaf()) {
+        // Inter-node unit: no single child may contain it.
+        for (int q = 0; q < 4; ++q) {
+          EXPECT_FALSE(
+              tree.node(n.first_child + q).rect.ContainsRect(e.mbr))
+              << "inter-node unit " << e.traj_id << " fits child " << q;
+        }
+      }
+    }
+    // sub = own local + Σ children sub.
+    double expect_sub = n.local_ub;
+    if (!n.IsLeaf()) {
+      for (int q = 0; q < 4; ++q) {
+        expect_sub += tree.node(n.first_child + q).sub;
+      }
+    }
+    EXPECT_NEAR(n.sub, expect_sub, 1e-9) << "node " << i;
+    // local_ub equals the sum of its entries' ubs.
+    double local = 0.0;
+    for (const TrajEntry& e : n.entries) local += e.ub;
+    EXPECT_NEAR(n.local_ub, local, 1e-9) << "node " << i;
+  }
+  EXPECT_EQ(stored_units, tree.num_units());
+  EXPECT_NEAR(tree.RootUpperBound(), sum_unit_ub, 1e-6);
+}
+
+TEST(TQTree, EveryTrajectoryStoredExactlyOnceWholeMode) {
+  Rng rng(301);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 500, 2, 2, w);
+  TQTree tree(&users, MakeOptions(IndexVariant::kZOrder, TrajMode::kWhole,
+                                  ServiceModel::Endpoints(100)));
+  std::map<uint32_t, int> count;
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    for (const TrajEntry& e : tree.node(static_cast<int32_t>(i)).entries) {
+      EXPECT_TRUE(e.IsWhole());
+      count[e.traj_id]++;
+    }
+  }
+  EXPECT_EQ(count.size(), users.size());
+  for (const auto& [id, c] : count) EXPECT_EQ(c, 1) << "traj " << id;
+  CheckStructure(tree);
+}
+
+TEST(TQTree, SegmentedModeStoresEverySegmentOnce) {
+  Rng rng(303);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 150, 2, 8, w);
+  TQTree tree(&users, MakeOptions(IndexVariant::kZOrder, TrajMode::kSegmented,
+                                  ServiceModel::PointCount(100)));
+  // §III-B: total stored units = Σ (|u| − 1).
+  size_t expected = 0;
+  for (uint32_t u = 0; u < users.size(); ++u) {
+    expected += users.NumPoints(u) - 1;
+  }
+  EXPECT_EQ(tree.num_units(), expected);
+  std::map<std::pair<uint32_t, uint32_t>, int> count;
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    for (const TrajEntry& e : tree.node(static_cast<int32_t>(i)).entries) {
+      count[{e.traj_id, e.seg_index}]++;
+    }
+  }
+  for (const auto& [key, c] : count) EXPECT_EQ(c, 1);
+  CheckStructure(tree);
+}
+
+TEST(TQTree, LeavesRespectBetaUnlessUnsplittable) {
+  Rng rng(305);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 2000, 2, 2, w);
+  TQTreeOptions opt = MakeOptions(IndexVariant::kBasic, TrajMode::kWhole,
+                                  ServiceModel::Endpoints(100), 16);
+  TQTree tree(&users, opt);
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const TQNode& n = tree.node(static_cast<int32_t>(i));
+    if (!n.IsLeaf()) continue;
+    if (n.entries.size() > opt.beta) {
+      // Only allowed when the node cannot split usefully.
+      EXPECT_TRUE(n.depth >= opt.max_depth || n.split_failed_at > 0)
+          << "overfull splittable leaf " << i;
+    }
+  }
+}
+
+TEST(TQTree, LongerTrajectoriesLiveHigher) {
+  // A trajectory spanning the whole space must sit at the root; a tiny one
+  // in a corner must descend.
+  TrajectorySet users;
+  const Point long_traj[] = {{10, 10}, {9990, 9990}};
+  users.Add(long_traj);
+  for (int i = 0; i < 40; ++i) {
+    const double x = 100.0 + i;
+    const Point t[] = {{x, 100}, {x + 1, 101}};
+    users.Add(t);
+  }
+  TQTree tree(&users, MakeOptions(IndexVariant::kBasic, TrajMode::kWhole,
+                                  ServiceModel::Endpoints(50), 4));
+  bool root_has_long = false;
+  for (const TrajEntry& e : tree.node(tree.root()).entries) {
+    root_has_long |= (e.traj_id == 0);
+  }
+  EXPECT_TRUE(root_has_long);
+  // Tiny trajectories ended up strictly below the root.
+  size_t below = 0;
+  for (size_t i = 1; i < tree.num_nodes(); ++i) {
+    below += tree.node(static_cast<int32_t>(i)).entries.size();
+  }
+  EXPECT_GT(below, 0u);
+}
+
+TEST(TQTree, ContainingNodeIsSmallestEnclosing) {
+  Rng rng(307);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 1000, 2, 2, w);
+  TQTree tree(&users, MakeOptions(IndexVariant::kBasic, TrajMode::kWhole,
+                                  ServiceModel::Endpoints(100), 8));
+  // Probes must stay inside the tree's world (ContainingNode falls back to
+  // the root — which need not contain the probe — otherwise).
+  const Rect world = tree.world();
+  for (int trial = 0; trial < 50; ++trial) {
+    const double x = rng.NextUniform(world.min_x, world.max_x - 900);
+    const double y = rng.NextUniform(world.min_y, world.max_y - 900);
+    const Rect probe = Rect::Of(x, y, x + rng.NextUniform(1, 800),
+                                y + rng.NextUniform(1, 800));
+    const int32_t idx = tree.ContainingNode(probe);
+    const TQNode& n = tree.node(idx);
+    EXPECT_TRUE(n.rect.ContainsRect(probe));
+    // No child contains it (else idx would not be smallest).
+    if (!n.IsLeaf()) {
+      for (int q = 0; q < 4; ++q) {
+        EXPECT_FALSE(tree.node(n.first_child + q).rect.ContainsRect(probe));
+      }
+    }
+  }
+}
+
+TEST(TQTree, PathToWalksRootToNode) {
+  Rng rng(309);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 1000, 2, 2, w);
+  TQTree tree(&users, MakeOptions(IndexVariant::kBasic, TrajMode::kWhole,
+                                  ServiceModel::Endpoints(100), 8));
+  const Rect probe = Rect::Of(100, 100, 150, 150);
+  const int32_t idx = tree.ContainingNode(probe);
+  const auto path = tree.PathTo(idx);
+  ASSERT_GE(path.size(), 1u);
+  EXPECT_EQ(path.front(), tree.root());
+  EXPECT_EQ(path.back(), idx);
+  for (size_t i = 1; i < path.size(); ++i) {
+    EXPECT_TRUE(tree.node(path[i - 1])
+                    .rect.ContainsRect(tree.node(path[i]).rect));
+  }
+}
+
+TEST(TQTree, TwoPointDetection) {
+  Rng rng(311);
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  const TrajectorySet two = testing::RandomUsers(&rng, 50, 2, 2, w);
+  const TrajectorySet multi = testing::RandomUsers(&rng, 50, 3, 6, w);
+  TQTree t1(&two, MakeOptions(IndexVariant::kBasic, TrajMode::kWhole,
+                              ServiceModel::Endpoints(50)));
+  TQTree t2(&multi, MakeOptions(IndexVariant::kBasic, TrajMode::kWhole,
+                                ServiceModel::Endpoints(50)));
+  TQTree t3(&multi, MakeOptions(IndexVariant::kBasic, TrajMode::kSegmented,
+                                ServiceModel::PointCount(50)));
+  EXPECT_TRUE(t1.two_point_units());
+  EXPECT_FALSE(t2.two_point_units());
+  EXPECT_TRUE(t3.two_point_units());
+}
+
+TEST(TQTree, DerivePruneModeMatrix) {
+  const ServiceModel endpoints = ServiceModel::Endpoints(50);
+  const ServiceModel count = ServiceModel::PointCount(50);
+  const ServiceModel length = ServiceModel::Length(50);
+  using PM = ZPruneMode;
+  EXPECT_EQ(DerivePruneMode(TrajMode::kWhole, endpoints, 2), PM::kStartEnd);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kWhole, endpoints, 9), PM::kStartEnd);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kWhole, count, 2), PM::kStartOrEnd);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kWhole, count, 9), PM::kMbr);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kWhole, length, 2), PM::kStartEnd);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kWhole, length, 9), PM::kMbr);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kSegmented, count, 9),
+            PM::kStartOrEnd);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kSegmented, length, 9),
+            PM::kStartEnd);
+  EXPECT_EQ(DerivePruneMode(TrajMode::kSegmented, endpoints, 9),
+            PM::kStartOrEnd);
+}
+
+TEST(TQTree, StatsAreCoherent) {
+  Rng rng(313);
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 800, 2, 2, w);
+  TQTree tree(&users, MakeOptions(IndexVariant::kZOrder, TrajMode::kWhole,
+                                  ServiceModel::Endpoints(100)));
+  const TQTreeStats s = tree.ComputeStats();
+  EXPECT_EQ(s.num_entries, users.size());
+  EXPECT_GT(s.num_nodes, 1u);
+  EXPECT_GE(s.num_nodes, s.num_leaves);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(TQTree, UnitUpperBoundSegmentScenario1EndpointsOnly) {
+  TrajectorySet users;
+  const Point t[] = {{0, 0}, {10, 0}, {20, 0}, {30, 0}};
+  users.Add(t);
+  const ServiceModel m = ServiceModel::Endpoints(5);
+  EXPECT_DOUBLE_EQ(UnitUpperBound(users, 0, 0, m), 1.0);  // touches source
+  EXPECT_DOUBLE_EQ(UnitUpperBound(users, 0, 1, m), 0.0);  // interior
+  EXPECT_DOUBLE_EQ(UnitUpperBound(users, 0, 2, m), 1.0);  // touches dest
+}
+
+TEST(TQTree, UnitUpperBoundSegmentPointOwnership) {
+  TrajectorySet users;
+  const Point t[] = {{0, 0}, {10, 0}, {20, 0}, {30, 0}};
+  users.Add(t);
+  const ServiceModel m = ServiceModel::PointCount(5, Normalization::kNone);
+  // Segment 0 owns points 0 and 1; segments 1, 2 own one point each.
+  EXPECT_DOUBLE_EQ(UnitUpperBound(users, 0, 0, m), 2.0);
+  EXPECT_DOUBLE_EQ(UnitUpperBound(users, 0, 1, m), 1.0);
+  EXPECT_DOUBLE_EQ(UnitUpperBound(users, 0, 2, m), 1.0);
+  // Ownership partitions the trajectory's points exactly.
+  double total = 0;
+  for (uint32_t s = 0; s < 3; ++s) total += UnitUpperBound(users, 0, s, m);
+  EXPECT_DOUBLE_EQ(total, 4.0);
+}
+
+}  // namespace
+}  // namespace tq

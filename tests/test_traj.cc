@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "traj/dataset.h"
+#include "traj/io.h"
+#include "traj/stats.h"
+
+namespace tq {
+namespace {
+
+TEST(TrajectorySet, AddAndAccess) {
+  TrajectorySet set;
+  const Point a[] = {{0, 0}, {3, 4}};
+  const Point b[] = {{1, 1}, {2, 2}, {3, 3}};
+  EXPECT_EQ(set.Add(a), 0u);
+  EXPECT_EQ(set.Add(b), 1u);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.NumPoints(0), 2u);
+  EXPECT_EQ(set.NumPoints(1), 3u);
+  EXPECT_EQ(set.TotalPoints(), 5u);
+  EXPECT_DOUBLE_EQ(set.length(0), 5.0);
+  EXPECT_EQ(set.points(1)[2], (Point{3, 3}));
+  EXPECT_EQ(set.mbr(0), Rect::Of(0, 0, 3, 4));
+}
+
+TEST(TrajectorySet, ViewEndpoints) {
+  TrajectorySet set;
+  const Point a[] = {{5, 6}, {7, 8}, {9, 10}};
+  set.Add(a);
+  const TrajectoryView v = set.view(0);
+  EXPECT_EQ(v.Source(), (Point{5, 6}));
+  EXPECT_EQ(v.Destination(), (Point{9, 10}));
+  EXPECT_EQ(v.NumPoints(), 3u);
+}
+
+TEST(TrajectorySet, BoundingBox) {
+  TrajectorySet set;
+  const Point a[] = {{0, 0}, {10, 10}};
+  const Point b[] = {{-5, 3}, {2, 20}};
+  set.Add(a);
+  set.Add(b);
+  EXPECT_EQ(set.BoundingBox(), Rect::Of(-5, 0, 10, 20));
+}
+
+TEST(TrajIo, ParseLine) {
+  std::vector<Point> pts;
+  ASSERT_TRUE(ParseTrajectoryLine("1.5,2.5;3,4", &pts).ok());
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].x, 1.5);
+  EXPECT_DOUBLE_EQ(pts[1].y, 4.0);
+}
+
+TEST(TrajIo, ParseRejectsGarbage) {
+  for (const char* bad : {"notapoint", "1,2;3", "", "1;2", ",;,"}) {
+    std::vector<Point> pts;
+    EXPECT_FALSE(ParseTrajectoryLine(bad, &pts).ok()) << bad;
+  }
+}
+
+TEST(TrajIo, RoundTrip) {
+  TrajectorySet set;
+  const Point a[] = {{100.25, 200.5}, {300.75, 400.125}};
+  const Point b[] = {{1, 2}, {3, 4}, {5, 6}};
+  set.Add(a);
+  set.Add(b);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tq_io_test.csv").string();
+  ASSERT_TRUE(SaveTrajectoryCsv(path, set).ok());
+  TrajectorySet loaded;
+  ASSERT_TRUE(LoadTrajectoryCsv(path, &loaded).ok());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.NumPoints(0), 2u);
+  EXPECT_EQ(loaded.NumPoints(1), 3u);
+  EXPECT_NEAR(loaded.points(0)[0].x, 100.25, 1e-3);
+  EXPECT_NEAR(loaded.points(1)[2].y, 6.0, 1e-3);
+  std::remove(path.c_str());
+}
+
+TEST(TrajIo, LoadMissingFileFails) {
+  TrajectorySet set;
+  const Status st = LoadTrajectoryCsv("/nonexistent/definitely/not.csv", &set);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(TrajIo, SkipsCommentsAndBlankLines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "tq_io_comments.csv")
+          .string();
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("# header comment\n\n1,2;3,4\n", f);
+    fclose(f);
+  }
+  TrajectorySet set;
+  ASSERT_TRUE(LoadTrajectoryCsv(path, &set).ok());
+  EXPECT_EQ(set.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Stats, ComputesAverages) {
+  TrajectorySet set;
+  const Point a[] = {{0, 0}, {0, 10}};
+  const Point b[] = {{0, 0}, {0, 10}, {0, 30}};
+  set.Add(a);
+  set.Add(b);
+  const DatasetStats s = ComputeStats(set);
+  EXPECT_EQ(s.num_trajectories, 2u);
+  EXPECT_EQ(s.total_points, 5u);
+  EXPECT_DOUBLE_EQ(s.avg_points, 2.5);
+  EXPECT_DOUBLE_EQ(s.avg_length, (10.0 + 30.0) / 2.0);
+  EXPECT_FALSE(s.ToString("test").empty());
+}
+
+}  // namespace
+}  // namespace tq

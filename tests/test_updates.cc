@@ -1,0 +1,164 @@
+// Dynamic maintenance (§III-C): a tree maintained by Insert/Remove must
+// answer exactly like a tree bulk-built on the final data.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "query/eval_service.h"
+#include "test_util.h"
+
+namespace tq {
+namespace {
+
+void ExpectSameAnswers(TQTree* a, TQTree* b, const TrajectorySet& facs,
+                       const ServiceEvaluator& eval, const char* what) {
+  for (uint32_t f = 0; f < facs.size(); ++f) {
+    const StopGrid grid(facs.points(f), eval.model().psi);
+    EXPECT_NEAR(EvaluateServiceTQ(a, eval, grid),
+                EvaluateServiceTQ(b, eval, grid), 1e-9)
+        << what << " facility " << f;
+  }
+}
+
+TEST(Updates, IncrementalInsertMatchesBulkBuild) {
+  Rng rng(801);
+  const Rect w = Rect::Of(0, 0, 20000, 20000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 600, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 10, 10, w);
+  const ServiceModel model = ServiceModel::Endpoints(200.0);
+  const ServiceEvaluator eval(&users, model);
+
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = model;
+  // Bulk tree over everything.
+  TQTree bulk(&users, opt);
+  // Incremental tree: TQTree bulk-builds over the set it is given, so build
+  // over the same set minus the second half by removing, then re-insert.
+  TQTree incremental(&users, opt);
+  for (uint32_t u = 300; u < 600; ++u) {
+    ASSERT_TRUE(incremental.Remove(u));
+  }
+  EXPECT_EQ(incremental.num_units(), 300u);
+  for (uint32_t u = 300; u < 600; ++u) incremental.Insert(u);
+  EXPECT_EQ(incremental.num_units(), 600u);
+
+  ExpectSameAnswers(&bulk, &incremental, facs, eval, "insert");
+}
+
+TEST(Updates, RemoveMatchesTreeWithoutThem) {
+  Rng rng(803);
+  const Rect w = Rect::Of(0, 0, 20000, 20000);
+  TrajectorySet all = testing::RandomUsers(&rng, 400, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 8, 10, w);
+  const ServiceModel model = ServiceModel::Endpoints(200.0);
+
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = model;
+  TQTree pruned(&all, opt);
+  // Remove every third trajectory.
+  for (uint32_t u = 0; u < all.size(); u += 3) {
+    ASSERT_TRUE(pruned.Remove(u));
+  }
+  const ServiceEvaluator eval(&all, model);
+  for (uint32_t f = 0; f < facs.size(); ++f) {
+    const StopGrid grid(facs.points(f), model.psi);
+    // Oracle over the survivors only.
+    double expected = 0.0;
+    for (uint32_t u = 0; u < all.size(); ++u) {
+      if (u % 3 == 0) continue;
+      expected +=
+          testing::BruteForceService(all, u, facs.points(f), model);
+    }
+    EXPECT_NEAR(EvaluateServiceTQ(&pruned, eval, grid), expected, 1e-6);
+  }
+}
+
+TEST(Updates, RemoveOfUnknownReturnsFalse) {
+  Rng rng(805);
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 20, 2, 2, w);
+  TQTreeOptions opt;
+  opt.model = ServiceModel::Endpoints(50);
+  TQTree tree(&users, opt);
+  ASSERT_TRUE(tree.Remove(5));
+  EXPECT_FALSE(tree.Remove(5));  // already gone
+}
+
+TEST(Updates, SubBookkeepingSurvivesChurn) {
+  Rng rng(807);
+  const Rect w = Rect::Of(0, 0, 20000, 20000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 500, 2, 2, w);
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = ServiceModel::Endpoints(100);
+  TQTree tree(&users, opt);
+  // Churn: remove random trajectories, re-insert them, repeatedly.
+  std::vector<bool> present(users.size(), true);
+  for (int round = 0; round < 500; ++round) {
+    const auto u = static_cast<uint32_t>(rng.NextBelow(users.size()));
+    if (present[u]) {
+      ASSERT_TRUE(tree.Remove(u));
+    } else {
+      tree.Insert(u);
+    }
+    present[u] = !present[u];
+  }
+  // sub consistency: root sub equals number of present trajectories (each
+  // whole 2-point unit contributes exactly 1 under the endpoints model).
+  size_t live = 0;
+  for (const bool p : present) live += p;
+  EXPECT_NEAR(tree.RootUpperBound(), static_cast<double>(live), 1e-9);
+  EXPECT_EQ(tree.num_units(), live);
+}
+
+TEST(Updates, SegmentedInsertRemoveRoundTrip) {
+  Rng rng(809);
+  const Rect w = Rect::Of(0, 0, 20000, 20000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 150, 3, 7, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 6, 8, w);
+  const ServiceModel model = ServiceModel::PointCount(200.0);
+  const ServiceEvaluator eval(&users, model);
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.mode = TrajMode::kSegmented;
+  opt.model = model;
+  TQTree reference(&users, opt);
+  TQTree churned(&users, opt);
+  for (uint32_t u = 0; u < users.size(); u += 2) {
+    ASSERT_TRUE(churned.Remove(u));
+  }
+  for (uint32_t u = 0; u < users.size(); u += 2) churned.Insert(u);
+  ExpectSameAnswers(&reference, &churned, facs, eval, "segmented churn");
+}
+
+TEST(Updates, ZIndexRebuildsAfterUpdates) {
+  Rng rng(811);
+  const Rect w = Rect::Of(0, 0, 20000, 20000);
+  const TrajectorySet users = testing::RandomUsers(&rng, 300, 2, 2, w);
+  const TrajectorySet facs = testing::RandomFacilities(&rng, 6, 10, w);
+  const ServiceModel model = ServiceModel::Endpoints(200.0);
+  const ServiceEvaluator eval(&users, model);
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.variant = IndexVariant::kZOrder;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  // Query, mutate, query again: the z-index must reflect the removal.
+  const StopGrid grid(facs.points(0), model.psi);
+  const double before = EvaluateServiceTQ(&tree, eval, grid);
+  // Remove every user the facility fully serves.
+  std::vector<uint32_t> served;
+  for (uint32_t u = 0; u < users.size(); ++u) {
+    if (testing::BruteForceService(users, u, facs.points(0), model) > 0.0) {
+      served.push_back(u);
+    }
+  }
+  for (const uint32_t u : served) ASSERT_TRUE(tree.Remove(u));
+  const double after = EvaluateServiceTQ(&tree, eval, grid);
+  EXPECT_NEAR(after, 0.0, 1e-9);
+  EXPECT_NEAR(before, static_cast<double>(served.size()), 1e-9);
+}
+
+}  // namespace
+}  // namespace tq

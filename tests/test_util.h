@@ -1,0 +1,134 @@
+// Shared test helpers: a brute-force service oracle (independent of every
+// index structure) and small random workload builders.
+#ifndef TQCOVER_TESTS_TEST_UTIL_H_
+#define TQCOVER_TESTS_TEST_UTIL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/distance.h"
+#include "service/models.h"
+#include "traj/dataset.h"
+
+namespace tq::testing {
+
+/// S(u, f) straight from the §II-A definitions by linear scan — the oracle
+/// all indexed paths are checked against.
+inline double BruteForceService(const TrajectorySet& users, uint32_t user,
+                                std::span<const Point> stops,
+                                const ServiceModel& model) {
+  const auto pts = users.points(user);
+  const double psi = model.psi;
+  switch (model.scenario) {
+    case Scenario::kEndpoints:
+      return (WithinPsiOfAny(pts.front(), stops, psi) &&
+              WithinPsiOfAny(pts.back(), stops, psi))
+                 ? 1.0
+                 : 0.0;
+    case Scenario::kPointCount: {
+      size_t served = 0;
+      for (const Point& p : pts) {
+        if (WithinPsiOfAny(p, stops, psi)) ++served;
+      }
+      return model.normalization == Normalization::kPerUser
+                 ? static_cast<double>(served) /
+                       static_cast<double>(pts.size())
+                 : static_cast<double>(served);
+    }
+    case Scenario::kLength: {
+      double served_len = 0.0;
+      for (size_t i = 0; i + 1 < pts.size(); ++i) {
+        if (WithinPsiOfAny(pts[i], stops, psi) &&
+            WithinPsiOfAny(pts[i + 1], stops, psi)) {
+          served_len += Distance(pts[i], pts[i + 1]);
+        }
+      }
+      if (model.normalization == Normalization::kPerUser) {
+        const double total = users.length(user);
+        return total > 0.0 ? served_len / total : 0.0;
+      }
+      return served_len;
+    }
+  }
+  return 0.0;
+}
+
+/// SO(U, f) by brute force.
+inline double BruteForceSO(const TrajectorySet& users,
+                           std::span<const Point> stops,
+                           const ServiceModel& model) {
+  double so = 0.0;
+  for (uint32_t u = 0; u < users.size(); ++u) {
+    so += BruteForceService(users, u, stops, model);
+  }
+  return so;
+}
+
+/// Random trajectories with point counts in [min_pts, max_pts], clustered
+/// around a few centres so pruning paths actually trigger.
+inline TrajectorySet RandomUsers(Rng* rng, size_t n, size_t min_pts,
+                                 size_t max_pts, const Rect& extent) {
+  TrajectorySet set;
+  std::vector<Point> pts;
+  const size_t num_clusters = 5;
+  std::vector<Point> centers;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    centers.push_back(Point{rng->NextUniform(extent.min_x, extent.max_x),
+                            rng->NextUniform(extent.min_y, extent.max_y)});
+  }
+  const double spread = 0.08 * std::max(extent.Width(), extent.Height());
+  for (size_t i = 0; i < n; ++i) {
+    const size_t len = static_cast<size_t>(
+        rng->NextInt(static_cast<int64_t>(min_pts),
+                     static_cast<int64_t>(max_pts)));
+    pts.clear();
+    const Point& c = centers[rng->NextBelow(num_clusters)];
+    for (size_t j = 0; j < len; ++j) {
+      pts.push_back(Point{
+          std::clamp(rng->NextGaussian(c.x, spread), extent.min_x,
+                     extent.max_x),
+          std::clamp(rng->NextGaussian(c.y, spread), extent.min_y,
+                     extent.max_y)});
+    }
+    set.Add(pts);
+  }
+  return set;
+}
+
+/// Random facilities as short stop polylines.
+inline TrajectorySet RandomFacilities(Rng* rng, size_t n, size_t stops,
+                                      const Rect& extent) {
+  TrajectorySet set;
+  std::vector<Point> pts;
+  for (size_t i = 0; i < n; ++i) {
+    pts.clear();
+    Point cur{rng->NextUniform(extent.min_x, extent.max_x),
+              rng->NextUniform(extent.min_y, extent.max_y)};
+    const double step = 0.03 * std::max(extent.Width(), extent.Height());
+    for (size_t j = 0; j < stops; ++j) {
+      pts.push_back(cur);
+      cur.x = std::clamp(cur.x + rng->NextGaussian(0.0, step), extent.min_x,
+                         extent.max_x);
+      cur.y = std::clamp(cur.y + rng->NextGaussian(0.0, step), extent.min_y,
+                         extent.max_y);
+    }
+    set.Add(pts);
+  }
+  return set;
+}
+
+/// All service-model combinations exercised by the matrix tests.
+inline std::vector<ServiceModel> AllModels(double psi) {
+  return {
+      ServiceModel::Endpoints(psi),
+      ServiceModel::PointCount(psi, Normalization::kPerUser),
+      ServiceModel::PointCount(psi, Normalization::kNone),
+      ServiceModel::Length(psi, Normalization::kPerUser),
+      ServiceModel::Length(psi, Normalization::kNone),
+  };
+}
+
+}  // namespace tq::testing
+
+#endif  // TQCOVER_TESTS_TEST_UTIL_H_

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "geom/distance.h"
+#include "zorder/cell_tree.h"
+#include "zorder/zid.h"
+
+namespace tq {
+namespace {
+
+TEST(ZId, RootProperties) {
+  ZId root;
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_EQ(root.RangeBegin(), 0u);
+  EXPECT_EQ(root.RangeSize(), uint64_t{1} << (2 * kMaxZDepth));
+  EXPECT_EQ(root.ToString(), "ε");
+}
+
+TEST(ZId, ChildPathsAndToString) {
+  ZId root;
+  const ZId c0 = root.Child(0);
+  const ZId c03 = c0.Child(3);
+  EXPECT_EQ(c0.ToString(), "0");
+  EXPECT_EQ(c03.ToString(), "0.3");
+  EXPECT_EQ(c03.depth, 2);
+}
+
+TEST(ZId, ChildrenOrderedAndDisjoint) {
+  ZId root;
+  uint64_t prev_end = 0;
+  for (int q = 0; q < 4; ++q) {
+    const ZId c = root.Child(q);
+    EXPECT_EQ(c.RangeBegin(), prev_end);
+    prev_end = c.RangeEnd();
+  }
+  EXPECT_EQ(prev_end, root.RangeEnd());
+}
+
+TEST(ZId, ContainsIsPrefixRelation) {
+  ZId root;
+  const ZId a = root.Child(2);
+  const ZId b = a.Child(1);
+  EXPECT_TRUE(root.Contains(a));
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(b.Contains(a));
+  EXPECT_FALSE(root.Child(1).Contains(b));
+}
+
+TEST(MortonKey, CornersMapToExtremes) {
+  const Rect w = Rect::Of(0, 0, 100, 100);
+  EXPECT_EQ(MortonKey(w, {0, 0}), 0u);
+  // The top-right corner hits the maximal grid cell.
+  const uint64_t max_key = MortonKey(w, {100, 100});
+  EXPECT_EQ(max_key, (uint64_t{1} << (2 * kMaxZDepth)) - 1);
+}
+
+TEST(MortonKey, AgreesWithQuadrantDescent) {
+  // The full-depth Morton key's top 2 bits must equal the quadrant index of
+  // the point, recursively — i.e. bit interleaving == quadtree descent.
+  const Rect w = Rect::Of(0, 0, 1024, 1024);
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    const Point p{rng.NextUniform(0, 1024), rng.NextUniform(0, 1024)};
+    const uint64_t key = MortonKey(w, p);
+    Rect r = w;
+    for (int level = 0; level < 6; ++level) {
+      const int q_from_key =
+          static_cast<int>((key >> (2 * (kMaxZDepth - level - 1))) & 3);
+      const int q_geom = r.QuadrantOf(p);
+      ASSERT_EQ(q_from_key, q_geom) << "level " << level;
+      r = r.Quadrant(q_geom);
+    }
+  }
+}
+
+TEST(CellRect, InverseOfDescent) {
+  const Rect w = Rect::Of(0, 0, 64, 64);
+  ZId id;
+  id = id.Child(3).Child(0).Child(2);
+  const Rect r = CellRect(w, id);
+  // NE (32..64)² then SW then NW of that.
+  EXPECT_EQ(r, Rect::Of(32, 40, 40, 48));
+}
+
+TEST(CellTree, RespectsCapacity) {
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  Rng rng(33);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.NextUniform(0, 1000), rng.NextUniform(0, 1000)});
+  }
+  const CellTree tree(w, pts, 8);
+  // Count points per located leaf: none may exceed β (points are distinct
+  // with probability 1, so max depth never binds here).
+  std::vector<ZId> ids;
+  for (const Point& p : pts) ids.push_back(tree.Locate(p));
+  std::sort(ids.begin(), ids.end());
+  size_t run = 1;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    run = (ids[i] == ids[i - 1]) ? run + 1 : 1;
+    EXPECT_LE(run, 8u);
+  }
+}
+
+TEST(CellTree, LocateReturnsCellContainingPoint) {
+  const Rect w = Rect::Of(0, 0, 512, 512);
+  Rng rng(35);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.NextUniform(0, 512), rng.NextUniform(0, 512)});
+  }
+  const CellTree tree(w, pts, 4);
+  for (const Point& p : pts) {
+    const ZId id = tree.Locate(p);
+    EXPECT_TRUE(CellRect(w, id).Contains(p));
+  }
+}
+
+TEST(CellTree, CoverIntersectingIsSoundAndSorted) {
+  const Rect w = Rect::Of(0, 0, 512, 512);
+  Rng rng(37);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.NextUniform(0, 512), rng.NextUniform(0, 512)});
+  }
+  const CellTree tree(w, pts, 4);
+  const Rect query = Rect::Of(100, 100, 220, 180);
+  const std::vector<ZId> cover = tree.CoverIntersecting(query);
+  // Sorted ascending by key.
+  for (size_t i = 1; i < cover.size(); ++i) {
+    EXPECT_LT(cover[i - 1].key, cover[i].key);
+  }
+  // Sound: every point inside the query locates to a covered cell.
+  for (const Point& p : pts) {
+    if (!query.Contains(p)) continue;
+    const ZId leaf = tree.Locate(p);
+    EXPECT_TRUE(std::find(cover.begin(), cover.end(), leaf) != cover.end());
+  }
+  // Tight: every covered cell really intersects the query.
+  for (const ZId& id : cover) {
+    EXPECT_TRUE(CellRect(w, id).Intersects(query));
+  }
+}
+
+TEST(CellTree, CoverRangesMergesAdjacency) {
+  const Rect w = Rect::Of(0, 0, 512, 512);
+  std::vector<Point> pts;  // empty → single root leaf
+  const CellTree tree(w, pts, 4);
+  const ZKeyRanges ranges = tree.CoverRanges(Rect::Of(0, 0, 512, 512));
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 0u);
+  EXPECT_EQ(ranges[0].second, uint64_t{1} << (2 * kMaxZDepth));
+}
+
+TEST(CellTree, CoverWithExpansionFindsNearbyCells) {
+  const Rect w = Rect::Of(0, 0, 100, 100);
+  std::vector<Point> pts;
+  Rng rng(39);
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.NextUniform(0, 100), rng.NextUniform(0, 100)});
+  }
+  const CellTree tree(w, pts, 4);
+  const Rect tiny = Rect::Of(50, 50, 50.1, 50.1);
+  const auto plain = tree.CoverIntersecting(tiny, 0.0);
+  const auto expanded = tree.CoverIntersecting(tiny, 10.0);
+  EXPECT_GE(expanded.size(), plain.size());
+}
+
+TEST(RangesContain, BinarySearchSemantics) {
+  const ZKeyRanges ranges = {{10, 20}, {30, 40}, {40, 50}};
+  EXPECT_TRUE(RangesContain(ranges, 10));
+  EXPECT_TRUE(RangesContain(ranges, 19));
+  EXPECT_FALSE(RangesContain(ranges, 20));
+  EXPECT_FALSE(RangesContain(ranges, 25));
+  EXPECT_TRUE(RangesContain(ranges, 30));
+  EXPECT_TRUE(RangesContain(ranges, 49));
+  EXPECT_FALSE(RangesContain(ranges, 50));
+  EXPECT_FALSE(RangesContain(ranges, 5));
+  EXPECT_FALSE(RangesContain({}, 5));
+}
+
+TEST(CellTree, CorridorCoverIsSound) {
+  // Every point within ψ of some stop must locate into a covered range.
+  const Rect w = Rect::Of(0, 0, 10000, 10000);
+  Rng rng(41);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.NextUniform(0, 10000), rng.NextUniform(0, 10000)});
+  }
+  const CellTree tree(w, pts, 8);
+  // A diagonal route of stops.
+  std::vector<Point> stops;
+  for (int i = 0; i < 20; ++i) {
+    stops.push_back({500.0 * i, 500.0 * i});
+  }
+  const double psi = 250.0;
+  const ZKeyRanges cover = tree.CoverRangesNearStops(stops, psi);
+  for (const Point& p : pts) {
+    if (WithinPsiOfAny(p, stops, psi)) {
+      EXPECT_TRUE(RangesContain(cover, tree.Locate(p).RangeBegin()))
+          << p.x << "," << p.y;
+    }
+  }
+}
+
+TEST(CellTree, CorridorCoverTighterThanBoundingBox) {
+  // For a long thin route, the corridor cover must be much smaller than the
+  // cover of the route's ψ-expanded bounding box.
+  const Rect w = Rect::Of(0, 0, 100000, 100000);
+  Rng rng(43);
+  std::vector<Point> pts;
+  for (int i = 0; i < 5000; ++i) {
+    pts.push_back({rng.NextUniform(0, 100000), rng.NextUniform(0, 100000)});
+  }
+  const CellTree tree(w, pts, 8);
+  std::vector<Point> stops;
+  for (int i = 0; i < 50; ++i) {
+    stops.push_back({2000.0 * i, 2000.0 * i});  // 100 km diagonal
+  }
+  const double psi = 300.0;
+  auto total_keys = [](const ZKeyRanges& rs) {
+    unsigned long long total = 0;
+    for (const auto& [b, e] : rs) total += e - b;
+    return total;
+  };
+  const auto corridor =
+      total_keys(tree.CoverRangesNearStops(stops, psi));
+  const auto box = total_keys(
+      tree.CoverRanges(Rect::BoundingBox(stops).Expanded(psi)));
+  EXPECT_LT(corridor, box / 4) << "corridor cover not tighter";
+}
+
+TEST(CellTree, CorridorCoverEmptyForFarStops) {
+  const Rect w = Rect::Of(0, 0, 1000, 1000);
+  std::vector<Point> pts = {{500, 500}};
+  const CellTree tree(w, pts, 4);
+  const std::vector<Point> stops = {{90000, 90000}};
+  EXPECT_TRUE(tree.CoverRangesNearStops(stops, 50.0).empty());
+  EXPECT_TRUE(tree.CoverRangesNearStops({}, 50.0).empty());
+}
+
+TEST(CellTree, DuplicatePointsTerminateAtMaxDepth) {
+  const Rect w = Rect::Of(0, 0, 100, 100);
+  // 20 identical points cannot be separated: the build must terminate and
+  // place them all in one max-depth (or root) leaf.
+  std::vector<Point> pts(20, Point{42.0, 17.0});
+  const CellTree tree(w, pts, 4);
+  const ZId id = tree.Locate(pts[0]);
+  EXPECT_EQ(id.depth, kMaxZDepth);
+}
+
+}  // namespace
+}  // namespace tq

@@ -1,0 +1,249 @@
+// tqcover command-line tool: generate workloads, inspect datasets, and run
+// kMaxRRST / MaxkCovRST queries on CSV or binary trajectory files without
+// writing any C++.
+//
+//   tqcover_cli generate --preset nyt --n 100000 --out trips.bin
+//   tqcover_cli generate --preset nybus --n 128 --stops 64 --out routes.bin
+//   tqcover_cli stats    --in trips.bin
+//   tqcover_cli topk     --users trips.bin --facilities routes.bin --k 8
+//   tqcover_cli cover    --users trips.bin --facilities routes.bin --k 8
+//   tqcover_cli topk ... --save-index trips.tqt   # persist the TQ-tree
+//   tqcover_cli topk ... --load-index trips.tqt   # reuse it
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "cover/genetic.h"
+#include "cover/greedy.h"
+#include "datagen/presets.h"
+#include "query/baseline.h"
+#include "query/topk.h"
+#include "tqtree/serialize.h"
+#include "traj/io.h"
+#include "traj/stats.h"
+
+namespace {
+
+using tq::Status;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> kv;
+
+  std::string Get(const std::string& key, const std::string& def = "") const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  size_t GetSize(const std::string& key, size_t def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : static_cast<size_t>(std::stoull(it->second));
+  }
+  double GetDouble(const std::string& key, double def) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? def : std::stod(it->second);
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tqcover_cli <command> [--key value ...]\n"
+      "commands:\n"
+      "  generate --preset nyt|nyf|bjg|nybus|bjbus --n N [--stops S]\n"
+      "           --out FILE [--format bin|csv]\n"
+      "  stats    --in FILE\n"
+      "  topk     --users FILE --facilities FILE [--k 8] [--psi 200]\n"
+      "           [--scenario endpoints|points|length] [--method tqz|tqb|bl|blr]\n"
+      "           [--mode whole|segmented] [--beta 64]\n"
+      "           [--save-index FILE] [--load-index FILE]\n"
+      "  cover    --users FILE --facilities FILE [--k 8] [--psi 200]\n"
+      "           [--scenario ...] [--solver greedy|genetic|baseline]\n"
+      "files: .bin (packed binary) or anything else (CSV x1,y1;x2,y2;...)\n");
+  return 2;
+}
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+}
+
+Status LoadSet(const std::string& path, tq::TrajectorySet* out) {
+  return IsBinaryPath(path) ? tq::LoadTrajectoryBinary(path, out)
+                            : tq::LoadTrajectoryCsv(path, out);
+}
+
+Status SaveSet(const std::string& path, const tq::TrajectorySet& set) {
+  return IsBinaryPath(path) ? tq::SaveTrajectoryBinary(path, set)
+                            : tq::SaveTrajectoryCsv(path, set);
+}
+
+tq::ServiceModel ModelFromArgs(const Args& args) {
+  const double psi = args.GetDouble("psi", 200.0);
+  const std::string scenario = args.Get("scenario", "endpoints");
+  if (scenario == "points") return tq::ServiceModel::PointCount(psi);
+  if (scenario == "length") return tq::ServiceModel::Length(psi);
+  return tq::ServiceModel::Endpoints(psi);
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string preset = args.Get("preset", "nyt");
+  const std::string out = args.Get("out");
+  if (out.empty()) return Usage();
+  const size_t n = args.GetSize("n", 10000);
+  const size_t stops = args.GetSize("stops", 64);
+  tq::TrajectorySet set;
+  if (preset == "nyt") {
+    set = tq::presets::NytTrips(n);
+  } else if (preset == "nyf") {
+    set = tq::presets::NyfCheckins(n);
+  } else if (preset == "bjg") {
+    set = tq::presets::BjgTraces(n);
+  } else if (preset == "nybus") {
+    set = tq::presets::NyBusRoutes(n, stops);
+  } else if (preset == "bjbus") {
+    set = tq::presets::BjBusRoutes(n, stops);
+  } else {
+    std::fprintf(stderr, "unknown preset '%s'\n", preset.c_str());
+    return 2;
+  }
+  const Status st = SaveSet(out, set);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu trajectories (%zu points) to %s\n", set.size(),
+              set.TotalPoints(), out.c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  const std::string in = args.Get("in");
+  if (in.empty()) return Usage();
+  tq::TrajectorySet set;
+  const Status st = LoadSet(in, &set);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", tq::ComputeStats(set).ToString(in).c_str());
+  const tq::Rect e = set.BoundingBox();
+  std::printf("extent: [%.1f, %.1f] x [%.1f, %.1f] m\n", e.min_x, e.max_x,
+              e.min_y, e.max_y);
+  return 0;
+}
+
+int CmdTopK(const Args& args) {
+  tq::TrajectorySet users, facilities;
+  Status st = LoadSet(args.Get("users"), &users);
+  if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const tq::ServiceModel model = ModelFromArgs(args);
+  const size_t k = args.GetSize("k", 8);
+  const std::string method = args.Get("method", "tqz");
+  const tq::ServiceEvaluator evaluator(&users, model);
+  const tq::FacilityCatalog catalog(&facilities, model.psi);
+
+  tq::TopKResult result;
+  if (method == "bl") {
+    tq::PointQuadtree pq(users.BoundingBox().Expanded(1.0), 128);
+    pq.InsertAll(users);
+    result = tq::TopKFacilitiesBaseline(pq, catalog, evaluator, k);
+  } else if (method == "blr") {
+    const tq::PointRTree rt = tq::PointRTree::FromTrajectories(users);
+    result = tq::TopKFacilitiesBaselineRTree(rt, catalog, evaluator, k);
+  } else {
+    tq::TQTreeOptions opt;
+    opt.beta = args.GetSize("beta", 64);
+    opt.model = model;
+    opt.variant = method == "tqb" ? tq::IndexVariant::kBasic
+                                  : tq::IndexVariant::kZOrder;
+    opt.mode = args.Get("mode", "whole") == "segmented"
+                   ? tq::TrajMode::kSegmented
+                   : tq::TrajMode::kWhole;
+    std::unique_ptr<tq::TQTree> tree;
+    const std::string load = args.Get("load-index");
+    if (!load.empty()) {
+      auto loaded = tq::LoadTQTree(load, &users);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      tree = std::move(*loaded);
+    } else {
+      tree = std::make_unique<tq::TQTree>(&users, opt);
+    }
+    const std::string save = args.Get("save-index");
+    if (!save.empty()) {
+      const Status sst = tq::SaveTQTree(save, *tree);
+      if (!sst.ok()) {
+        std::fprintf(stderr, "%s\n", sst.ToString().c_str());
+        return 1;
+      }
+      std::printf("index saved to %s\n", save.c_str());
+    }
+    result = tq::TopKFacilitiesTQ(tree.get(), catalog, evaluator, k);
+  }
+  std::printf("top-%zu facilities by %s service:\n", k,
+              model.ToString().c_str());
+  for (size_t i = 0; i < result.ranked.size(); ++i) {
+    std::printf("%3zu. facility %-6u SO = %.3f\n", i + 1,
+                result.ranked[i].id, result.ranked[i].value);
+  }
+  return 0;
+}
+
+int CmdCover(const Args& args) {
+  tq::TrajectorySet users, facilities;
+  Status st = LoadSet(args.Get("users"), &users);
+  if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const tq::ServiceModel model = ModelFromArgs(args);
+  const size_t k = args.GetSize("k", 8);
+  const std::string solver = args.Get("solver", "greedy");
+  const tq::ServiceEvaluator evaluator(&users, model);
+  const tq::FacilityCatalog catalog(&facilities, model.psi);
+
+  tq::CoverResult result;
+  if (solver == "baseline") {
+    tq::PointQuadtree pq(users.BoundingBox().Expanded(1.0), 128);
+    pq.InsertAll(users);
+    result = tq::GreedyCoverBaseline(pq, catalog, evaluator, k);
+  } else {
+    tq::TQTreeOptions opt;
+    opt.beta = args.GetSize("beta", 64);
+    opt.model = model;
+    tq::TQTree tree(&users, opt);
+    result = solver == "genetic"
+                 ? tq::GeneticCoverTQ(&tree, catalog, evaluator, k)
+                 : tq::GreedyCoverTQ(&tree, catalog, evaluator, k);
+  }
+  std::printf("MaxkCovRST (%s, k=%zu): SO = %.3f, users served = %zu\n",
+              solver.c_str(), k, result.total, result.users_served);
+  std::printf("chosen:");
+  for (const tq::FacilityId f : result.chosen) std::printf(" %u", f);
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    args.kv[argv[i] + 2] = argv[i + 1];
+  }
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "topk") return CmdTopK(args);
+  if (args.command == "cover") return CmdCover(args);
+  return Usage();
+}

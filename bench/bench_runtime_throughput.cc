@@ -1,0 +1,127 @@
+// Concurrent runtime throughput: queries/sec of the serving engine
+// (src/runtime/engine.h) at 1/2/4/8 worker threads on the NYF preset.
+//
+// Two series per thread count:
+//   * qps        — result cache disabled: raw compute scaling of the
+//                  sharded executor over lock-free snapshot readers.
+//   * cached_qps — warm sharded LRU cache: the serving steady state where
+//                  popular facilities repeat.
+//
+// Besides the usual table + "# csv:" lines, emits one "# json:" line with
+// the whole result set so BENCH_*.json trajectories can track queries/sec
+// across PRs. Honors REPRO_SCALE / REPRO_FULL (bench_util.h).
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/engine.h"
+
+namespace {
+
+using tq::runtime::Engine;
+using tq::runtime::EngineOptions;
+using tq::runtime::QueryRequest;
+using tq::runtime::QueryResponse;
+
+struct ThroughputResult {
+  size_t threads = 0;
+  double qps = 0.0;
+  double cached_qps = 0.0;
+};
+
+// Wall-clock queries/sec for `num_queries` service-value queries issued
+// round-robin over the catalog. `warm_pass` first runs the same stream once
+// so a second, measured pass hits the cache.
+double MeasureQps(Engine* engine, size_t num_queries, bool warm_pass) {
+  const size_t num_fac = engine->snapshot()->catalog->size();
+  const auto run = [&]() {
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(num_queries);
+    for (size_t q = 0; q < num_queries; ++q) {
+      futures.push_back(engine->Submit(QueryRequest::ServiceValue(
+          static_cast<tq::FacilityId>(q % num_fac))));
+    }
+    double checksum = 0.0;
+    for (auto& f : futures) checksum += f.get().value;
+    return checksum;
+  };
+  if (warm_pass) (void)run();
+  tq::Timer timer;
+  (void)run();
+  return static_cast<double>(num_queries) / timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  const auto env = tq::bench::BenchEnv::FromEnv();
+  // NYF: multipoint check-in trajectories (paper full scale 212,751) under
+  // the Scenario-2 point-count model, served by NY bus routes.
+  const auto num_users = static_cast<size_t>(212751 * env.scale);
+  tq::TrajectorySet users = tq::presets::NyfCheckins(num_users);
+  tq::TrajectorySet routes =
+      tq::presets::NyBusRoutes(env.DefaultFacilities(), env.DefaultStops());
+  const tq::ServiceModel model =
+      tq::ServiceModel::PointCount(env.DefaultPsi());
+  const size_t num_queries =
+      std::max<size_t>(env.reps * routes.size(), 4 * routes.size());
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  tq::bench::Banner("Runtime throughput — NYF preset, kMaxRRST serving");
+  std::printf("users=%zu facilities=%zu queries=%zu psi=%.0f beta=%zu "
+              "cores=%u\n",
+              users.size(), routes.size(), num_queries, env.DefaultPsi(),
+              env.DefaultBeta(), cores);
+  if (cores < 8) {
+    std::printf("note: only %u hardware threads — thread-count scaling is "
+                "bounded by the machine, not the executor\n", cores);
+  }
+  tq::bench::PrintSeriesHeader({"qps", "cached_qps"});
+
+  std::vector<ThroughputResult> results;
+  for (const size_t threads : {1u, 2u, 4u, 8u}) {
+    ThroughputResult r;
+    r.threads = threads;
+    {
+      EngineOptions options;
+      options.num_threads = threads;
+      options.cache_capacity = 0;  // raw compute scaling
+      options.tree.beta = env.DefaultBeta();
+      options.tree.model = model;
+      Engine engine(users, routes, options);
+      r.qps = MeasureQps(&engine, num_queries, /*warm_pass=*/false);
+    }
+    {
+      EngineOptions options;
+      options.num_threads = threads;
+      options.cache_capacity = 4096;
+      options.tree.beta = env.DefaultBeta();
+      options.tree.model = model;
+      Engine engine(users, routes, options);
+      r.cached_qps = MeasureQps(&engine, num_queries, /*warm_pass=*/true);
+    }
+    results.push_back(r);
+    char label[32];
+    std::snprintf(label, sizeof(label), "threads=%zu", threads);
+    tq::bench::PrintTimeRow(label, {"qps", "cached_qps"},
+                            {r.qps, r.cached_qps});
+  }
+
+  const double speedup =
+      results.front().qps > 0 ? results.back().qps / results.front().qps : 0;
+  std::printf("\nspeedup (8 threads vs 1, uncached): %.2fx\n", speedup);
+
+  std::printf("# json: {\"bench\":\"runtime_throughput\",\"preset\":\"nyf\","
+              "\"users\":%zu,\"facilities\":%zu,\"queries\":%zu,"
+              "\"cores\":%u,\"results\":[",
+              users.size(), routes.size(), num_queries, cores);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("%s{\"threads\":%zu,\"qps\":%.1f,\"cached_qps\":%.1f}",
+                i == 0 ? "" : ",", results[i].threads, results[i].qps,
+                results[i].cached_qps);
+  }
+  std::printf("],\"speedup_8v1\":%.3f}\n", speedup);
+  return 0;
+}

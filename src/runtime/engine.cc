@@ -1,0 +1,156 @@
+#include "runtime/engine.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "query/eval_service.h"
+#include "tqtree/serialize.h"
+
+namespace tq::runtime {
+
+namespace {
+
+uint64_t PsiBits(double psi) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(psi));
+  std::memcpy(&bits, &psi, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+Engine::Engine(TrajectorySet users, TrajectorySet facilities,
+               EngineOptions options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      pool_(options.num_threads) {
+  auto users_ptr = std::make_shared<TrajectorySet>(std::move(users));
+  auto facilities_ptr =
+      std::make_shared<TrajectorySet>(std::move(facilities));
+  auto tree = std::make_shared<TQTree>(users_ptr.get(), options_.tree);
+  tree->BuildAllZIndexes();  // freeze: queries on a published tree never write
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = 1;
+  snap->users = users_ptr;
+  snap->facilities = facilities_ptr;
+  snap->tree = std::move(tree);
+  snap->eval = std::make_shared<ServiceEvaluator>(users_ptr.get(),
+                                                  options_.tree.model);
+  snap->catalog = std::make_shared<FacilityCatalog>(facilities_ptr.get(),
+                                                    options_.tree.model.psi);
+  Publish(std::move(snap));
+}
+
+Engine::~Engine() = default;  // pool_ is the last member: joins first
+
+void Engine::Publish(SnapshotPtr snap) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snap);
+  }
+  metrics_.AddSnapshotPublished();
+}
+
+SnapshotPtr Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::future<QueryResponse> Engine::Submit(QueryRequest request) {
+  return pool_.Submit([this, request]() { return Execute(request); });
+}
+
+std::vector<QueryResponse> Engine::RunBatch(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(batch.size());
+  for (const QueryRequest& request : batch) futures.push_back(Submit(request));
+  std::vector<QueryResponse> responses;
+  responses.reserve(batch.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+QueryResponse Engine::Execute(const QueryRequest& request) {
+  const SnapshotPtr snap = snapshot();
+  QueryResponse response;
+  response.kind = request.kind;
+  response.snapshot_version = snap->version;
+  metrics_.AddQuery(request.kind == QueryKind::kTopK);
+
+  if (request.kind == QueryKind::kTopK) {
+    TopKResult top =
+        TopKFacilitiesTQ(snap->tree.get(), *snap->catalog, *snap->eval,
+                         request.k);
+    response.ranked = std::move(top.ranked);
+    response.stats = top.stats;
+    metrics_.RecordQueryStats(response.stats);
+    return response;
+  }
+
+  if (request.facility >= snap->catalog->size()) {
+    response.status = Status::OutOfRange(
+        "facility id " + std::to_string(request.facility) +
+        " out of range (catalog has " +
+        std::to_string(snap->catalog->size()) + ")");
+    return response;
+  }
+  const ResultCache::Key key{request.facility,
+                             PsiBits(snap->catalog->psi()), snap->version};
+  if (cache_.Get(key, &response.value)) {
+    response.cache_hit = true;
+    metrics_.AddCacheHit();
+    return response;
+  }
+  response.value = EvaluateServiceTQ(snap->tree.get(), *snap->eval,
+                                     snap->catalog->grid(request.facility),
+                                     &response.stats);
+  if (cache_.enabled()) {
+    metrics_.AddCacheMiss();
+    metrics_.AddCacheEvictions(cache_.Put(key, response.value));
+  }
+  metrics_.RecordQueryStats(response.stats);
+  return response;
+}
+
+std::vector<uint32_t> Engine::ApplyUpdates(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const SnapshotPtr cur = snapshot();
+
+  // Copy-on-write: the published user set is immutable, so appends go to a
+  // private copy. Trajectory ids are stable across the copy (append-only).
+  auto users = std::make_shared<TrajectorySet>(*cur->users);
+  std::vector<uint32_t> new_ids;
+  new_ids.reserve(batch.inserts.size());
+  for (const std::vector<Point>& traj : batch.inserts) {
+    new_ids.push_back(users->Add(traj));
+  }
+
+  // Copy-on-write at the tree root: clone against the extended user set,
+  // then apply this batch's deltas to the private clone.
+  std::shared_ptr<TQTree> tree = CloneTQTree(*cur->tree, users.get());
+  for (const uint32_t id : new_ids) tree->Insert(id);
+  uint64_t removed = 0;
+  for (const uint32_t id : batch.removes) {
+    if (tree->Remove(id)) ++removed;
+  }
+  tree->BuildAllZIndexes();  // freeze before publication
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->version = cur->version + 1;
+  snap->users = users;
+  snap->facilities = cur->facilities;
+  snap->tree = std::move(tree);
+  snap->eval =
+      std::make_shared<ServiceEvaluator>(users.get(), options_.tree.model);
+  snap->catalog = cur->catalog;
+  Publish(std::move(snap));
+
+  metrics_.AddInserted(new_ids.size());
+  metrics_.AddRemoved(removed);
+  metrics_.AddCacheInvalidated(cache_.InvalidateBefore(cur->version + 1));
+  return new_ids;
+}
+
+}  // namespace tq::runtime

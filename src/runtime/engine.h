@@ -1,0 +1,159 @@
+// The concurrent query engine: multi-tenant kMaxRRST serving on top of the
+// single-query TQ-tree library.
+//
+// Concurrency model — single-writer, many lock-free readers:
+//   * The engine owns an immutable Snapshot: {user set, TQ-tree, facility
+//     catalog, evaluator} behind shared_ptrs, tagged with a monotonically
+//     increasing version. Readers grab the current snapshot pointer (one
+//     mutex-protected shared_ptr copy) and then run entirely lock-free on
+//     frozen structures.
+//   * A published tree is FROZEN: every z-index is built eagerly before
+//     publication (TQTree rebuilds them lazily inside queries otherwise,
+//     which would race), and Insert/Remove are never called on it again.
+//   * Writers (ApplyUpdates) never block readers: they copy the user set,
+//     clone the tree via CloneTQTree (copy-on-write at the tree root,
+//     tqtree/serialize.cc), apply trajectory inserts/removes to the clone,
+//     freeze it, and publish it as version N+1. In-flight queries keep their
+//     old snapshot alive through the shared_ptr until they finish.
+//   * Service values are memoised in a sharded LRU ResultCache keyed by
+//     (facility, ψ, snapshot version); publication invalidates superseded
+//     versions. Best-first top-k runs uncached (its per-facility pruning
+//     state is query-specific), but its heap/relax work is counted in the
+//     MetricsRegistry alongside everything else.
+#ifndef TQCOVER_RUNTIME_ENGINE_H_
+#define TQCOVER_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "query/topk.h"
+#include "runtime/metrics.h"
+#include "runtime/result_cache.h"
+#include "runtime/thread_pool.h"
+#include "service/evaluator.h"
+#include "service/facility_index.h"
+#include "tqtree/tq_tree.h"
+#include "traj/dataset.h"
+
+namespace tq::runtime {
+
+/// Engine construction parameters.
+struct EngineOptions {
+  /// Worker threads executing queries.
+  size_t num_threads = 4;
+  /// Total service-value cache entries across shards; 0 disables caching.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  /// TQ-tree construction parameters (the service model lives here).
+  TQTreeOptions tree;
+};
+
+/// One immutable published version of the serving state. Everything reachable
+/// from a Snapshot is read-only until the last reader drops its reference.
+struct Snapshot {
+  uint64_t version = 0;
+  std::shared_ptr<const TrajectorySet> users;
+  std::shared_ptr<const TrajectorySet> facilities;
+  /// Frozen (all z-indexes built); non-const only because the query API
+  /// takes TQTree* — no query mutates a frozen tree.
+  std::shared_ptr<TQTree> tree;
+  std::shared_ptr<const ServiceEvaluator> eval;
+  std::shared_ptr<const FacilityCatalog> catalog;
+};
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// Query kinds the engine serves.
+enum class QueryKind {
+  kServiceValue,  // SO(U, f) for one facility (Algorithms 1–2)
+  kTopK,          // kMaxRRST (Algorithms 3–4)
+};
+
+struct QueryRequest {
+  QueryKind kind = QueryKind::kServiceValue;
+  FacilityId facility = 0;  // kServiceValue only
+  size_t k = 8;             // kTopK only
+
+  static QueryRequest ServiceValue(FacilityId f) {
+    return QueryRequest{QueryKind::kServiceValue, f, 0};
+  }
+  static QueryRequest TopK(size_t k) {
+    return QueryRequest{QueryKind::kTopK, 0, k};
+  }
+};
+
+struct QueryResponse {
+  QueryKind kind = QueryKind::kServiceValue;
+  /// Non-OK when the request was rejected (e.g. facility id out of range);
+  /// a serving engine must survive malformed tenant requests, so they come
+  /// back as errors, never crashes. All other fields are meaningless then.
+  Status status;
+  /// Version of the snapshot this answer was computed against.
+  uint64_t snapshot_version = 0;
+  bool cache_hit = false;
+  double value = 0.0;                  // kServiceValue
+  std::vector<RankedFacility> ranked;  // kTopK
+  QueryStats stats;                    // zero for cache hits
+};
+
+/// One writer batch: trajectories to add to the user set and/or trajectory
+/// ids to de-index. Applied atomically — queries see either the old snapshot
+/// or the new one, never a half-applied state.
+struct UpdateBatch {
+  std::vector<std::vector<Point>> inserts;
+  std::vector<uint32_t> removes;
+};
+
+/// Multi-threaded serving engine. Thread-safe: any thread may Submit /
+/// RunBatch / ApplyUpdates / snapshot() concurrently. Writers are serialized
+/// among themselves; readers never block.
+class Engine {
+ public:
+  /// Builds version 1 from the given users and facilities. `model` comes
+  /// from `options.tree.model`.
+  Engine(TrajectorySet users, TrajectorySet facilities, EngineOptions options);
+  /// Drains in-flight queries, then joins the worker pool.
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The currently published snapshot (cheap: one shared_ptr copy).
+  SnapshotPtr snapshot() const;
+
+  /// Enqueues one query on the worker pool.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Submits every request, then blocks for all answers (in request order).
+  std::vector<QueryResponse> RunBatch(const std::vector<QueryRequest>& batch);
+
+  /// Applies `batch` copy-on-write and publishes the result as a new
+  /// snapshot. Returns the ids assigned to `batch.inserts` (in order).
+  /// Serialized internally; concurrent readers are never blocked.
+  std::vector<uint32_t> ApplyUpdates(const UpdateBatch& batch);
+
+ private:
+  QueryResponse Execute(const QueryRequest& request);
+  void Publish(SnapshotPtr snap);
+
+  EngineOptions options_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+
+  mutable std::mutex snapshot_mu_;  // guards snapshot_ pointer swap only
+  SnapshotPtr snapshot_;
+
+  std::mutex writer_mu_;  // serializes ApplyUpdates
+
+  ThreadPool pool_;  // last member: joins before the rest is torn down
+};
+
+}  // namespace tq::runtime
+
+#endif  // TQCOVER_RUNTIME_ENGINE_H_

@@ -1,0 +1,156 @@
+// Lock-free operational counters for the concurrent query runtime.
+//
+// One MetricsRegistry lives inside each runtime::Engine; every worker thread
+// bumps the atomics as it executes queries, and the per-query QueryStats
+// instrumentation (nodes visited, entries scanned, ...) is folded in through
+// RecordQueryStats so serving-side dashboards see the same counters the
+// ablation benches do. Read() takes a consistent-enough snapshot for
+// monitoring (each field is individually atomic; cross-field skew of a few
+// in-flight queries is acceptable by design).
+#ifndef TQCOVER_RUNTIME_METRICS_H_
+#define TQCOVER_RUNTIME_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "query/query_stats.h"
+
+namespace tq::runtime {
+
+/// Plain-value snapshot of a MetricsRegistry, safe to copy and format.
+struct MetricsView {
+  uint64_t queries_total = 0;
+  uint64_t service_queries = 0;
+  uint64_t topk_queries = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_invalidated = 0;
+  uint64_t snapshots_published = 0;
+  uint64_t trajectories_inserted = 0;
+  uint64_t trajectories_removed = 0;
+  uint64_t nodes_visited = 0;
+  uint64_t entries_scanned = 0;
+  uint64_t exact_checks = 0;
+  uint64_t heap_pops = 0;
+
+  double CacheHitRate() const {
+    const uint64_t looked = cache_hits + cache_misses;
+    return looked == 0 ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(looked);
+  }
+
+  /// One-object JSON rendering (keys match the field names).
+  std::string ToJson() const {
+    std::string s = "{";
+    auto field = [&s](const char* k, uint64_t v) {
+      if (s.size() > 1) s += ",";
+      s += "\"";
+      s += k;
+      s += "\":";
+      s += std::to_string(v);
+    };
+    field("queries_total", queries_total);
+    field("service_queries", service_queries);
+    field("topk_queries", topk_queries);
+    field("cache_hits", cache_hits);
+    field("cache_misses", cache_misses);
+    field("cache_evictions", cache_evictions);
+    field("cache_invalidated", cache_invalidated);
+    field("snapshots_published", snapshots_published);
+    field("trajectories_inserted", trajectories_inserted);
+    field("trajectories_removed", trajectories_removed);
+    field("nodes_visited", nodes_visited);
+    field("entries_scanned", entries_scanned);
+    field("exact_checks", exact_checks);
+    field("heap_pops", heap_pops);
+    s += "}";
+    return s;
+  }
+};
+
+/// Thread-safe counter registry. All mutators are wait-free relaxed atomic
+/// increments — these sit on the query hot path.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void AddQuery(bool topk) {
+    queries_total_.fetch_add(1, std::memory_order_relaxed);
+    (topk ? topk_queries_ : service_queries_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddCacheEvictions(uint64_t n) {
+    if (n) cache_evictions_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddCacheInvalidated(uint64_t n) {
+    if (n) cache_invalidated_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddSnapshotPublished() {
+    snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddInserted(uint64_t n) {
+    if (n) trajectories_inserted_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddRemoved(uint64_t n) {
+    if (n) trajectories_removed_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Folds one query's traversal counters into the registry.
+  void RecordQueryStats(const QueryStats& s) {
+    nodes_visited_.fetch_add(s.nodes_visited, std::memory_order_relaxed);
+    entries_scanned_.fetch_add(s.entries_scanned, std::memory_order_relaxed);
+    exact_checks_.fetch_add(s.exact_checks, std::memory_order_relaxed);
+    heap_pops_.fetch_add(s.heap_pops, std::memory_order_relaxed);
+  }
+
+  MetricsView Read() const {
+    MetricsView v;
+    v.queries_total = queries_total_.load(std::memory_order_relaxed);
+    v.service_queries = service_queries_.load(std::memory_order_relaxed);
+    v.topk_queries = topk_queries_.load(std::memory_order_relaxed);
+    v.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    v.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+    v.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+    v.cache_invalidated = cache_invalidated_.load(std::memory_order_relaxed);
+    v.snapshots_published =
+        snapshots_published_.load(std::memory_order_relaxed);
+    v.trajectories_inserted =
+        trajectories_inserted_.load(std::memory_order_relaxed);
+    v.trajectories_removed =
+        trajectories_removed_.load(std::memory_order_relaxed);
+    v.nodes_visited = nodes_visited_.load(std::memory_order_relaxed);
+    v.entries_scanned = entries_scanned_.load(std::memory_order_relaxed);
+    v.exact_checks = exact_checks_.load(std::memory_order_relaxed);
+    v.heap_pops = heap_pops_.load(std::memory_order_relaxed);
+    return v;
+  }
+
+ private:
+  std::atomic<uint64_t> queries_total_{0};
+  std::atomic<uint64_t> service_queries_{0};
+  std::atomic<uint64_t> topk_queries_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_evictions_{0};
+  std::atomic<uint64_t> cache_invalidated_{0};
+  std::atomic<uint64_t> snapshots_published_{0};
+  std::atomic<uint64_t> trajectories_inserted_{0};
+  std::atomic<uint64_t> trajectories_removed_{0};
+  std::atomic<uint64_t> nodes_visited_{0};
+  std::atomic<uint64_t> entries_scanned_{0};
+  std::atomic<uint64_t> exact_checks_{0};
+  std::atomic<uint64_t> heap_pops_{0};
+};
+
+}  // namespace tq::runtime
+
+#endif  // TQCOVER_RUNTIME_METRICS_H_

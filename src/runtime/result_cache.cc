@@ -1,0 +1,70 @@
+#include "runtime/result_cache.h"
+
+#include <algorithm>
+
+namespace tq::runtime {
+
+ResultCache::ResultCache(size_t capacity, size_t num_shards) {
+  const size_t n = std::max<size_t>(1, num_shards);
+  // Round the per-shard budget up so the total is never below `capacity`.
+  per_shard_capacity_ = capacity == 0 ? 0 : (capacity + n - 1) / n;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+bool ResultCache::Get(const Key& key, double* value) {
+  if (!enabled()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->value;
+  return true;
+}
+
+size_t ResultCache::Put(const Key& key, double value) {
+  if (!enabled()) return 0;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return 0;
+  }
+  shard.lru.push_front(Entry{key, value});
+  shard.index.emplace(key, shard.lru.begin());
+  if (shard.lru.size() <= per_shard_capacity_) return 0;
+  shard.index.erase(shard.lru.back().key);
+  shard.lru.pop_back();
+  return 1;
+}
+
+size_t ResultCache::InvalidateBefore(uint64_t version) {
+  size_t dropped = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->key.snapshot_version < version) {
+        shard->index.erase(it->key);
+        it = shard->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace tq::runtime

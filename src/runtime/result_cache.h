@@ -1,0 +1,99 @@
+// Sharded LRU cache memoising EvaluateServiceTQ results for the serving
+// engine.
+//
+// Key = (facility id, ψ bits, snapshot version): a service value is a pure
+// function of the user set and the facility's stop disk radius, and the user
+// set is identified by the snapshot version — so a hit is exact, never
+// approximate. Entries from superseded snapshots become unreachable the
+// moment the engine publishes a new version; InvalidateBefore() reclaims
+// their memory eagerly on publish, LRU eviction reclaims the rest lazily.
+//
+// Sharding: key-hash partitioning into independently locked shards keeps the
+// cache off the critical path — worker threads contend only when they hash
+// to the same shard.
+#ifndef TQCOVER_RUNTIME_RESULT_CACHE_H_
+#define TQCOVER_RUNTIME_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace tq::runtime {
+
+/// Thread-safe sharded LRU map from (facility, ψ, snapshot version) to a
+/// cached service value. A zero capacity disables the cache (every Get
+/// misses, Put is a no-op) — used by benches measuring raw compute scaling.
+class ResultCache {
+ public:
+  struct Key {
+    FacilityId facility = 0;
+    uint64_t psi_bits = 0;  // bit pattern of ψ (doubles as exact equality)
+    uint64_t snapshot_version = 0;
+
+    bool operator==(const Key& o) const {
+      return facility == o.facility && psi_bits == o.psi_bits &&
+             snapshot_version == o.snapshot_version;
+    }
+  };
+
+  /// `capacity` is the total entry budget across all shards.
+  explicit ResultCache(size_t capacity, size_t num_shards = 8);
+
+  bool enabled() const { return per_shard_capacity_ > 0; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// True and fills `*value` on a hit; refreshes the entry's LRU position.
+  bool Get(const Key& key, double* value);
+
+  /// Inserts or refreshes `key`. Returns the number of entries evicted to
+  /// make room (0 or 1).
+  size_t Put(const Key& key, double value);
+
+  /// Drops every entry whose snapshot version is older than `version`
+  /// (publish-time invalidation). Returns the number dropped.
+  size_t InvalidateBefore(uint64_t version);
+
+  /// Current number of cached entries (sums shard sizes; approximate under
+  /// concurrent mutation).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    Key key;
+    double value = 0.0;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // 64-bit mix of the three components (splitmix64 finalizer).
+      uint64_t h = k.psi_bits ^ (k.snapshot_version * 0x9e3779b97f4a7c15ull) ^
+                   (static_cast<uint64_t>(k.facility) << 32);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      h *= 0x94d049bb133111ebull;
+      h ^= h >> 31;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace tq::runtime
+
+#endif  // TQCOVER_RUNTIME_RESULT_CACHE_H_

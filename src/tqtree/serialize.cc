@@ -200,6 +200,37 @@ class TQTreeSerializer {
     if (opt.variant == IndexVariant::kZOrder) tree->BuildAllZIndexes();
     return tree;
   }
+
+  static std::unique_ptr<TQTree> Clone(const TQTree& src,
+                                       const TrajectorySet* users) {
+    TQ_CHECK(users != nullptr);
+    // Every entry references a trajectory id of the original set; a superset
+    // keeps them all valid (ids are stable — TrajectorySet is append-only).
+    TQ_CHECK(users->size() >= src.users_->size());
+    auto tree = std::unique_ptr<TQTree>(
+        new TQTree(users, src.options_, TQTree::DeserializeTag{}));
+    tree->world_ = src.world_;
+    tree->num_units_ = src.num_units_;
+    tree->nodes_.resize(src.nodes_.size());
+    for (size_t i = 0; i < src.nodes_.size(); ++i) {
+      const TQNode& from = src.nodes_[i];
+      TQNode& to = tree->nodes_[i];
+      to.rect = from.rect;
+      to.first_child = from.first_child;
+      to.depth = from.depth;
+      to.entries = from.entries;
+      to.local_ub = from.local_ub;
+      to.sub = from.sub;
+      to.local_agg = from.local_agg;
+      to.sub_agg = from.sub_agg;
+      to.split_failed_at = from.split_failed_at;
+      to.zindex_dirty = true;  // rebuilt below under the clone's prune mode
+    }
+    if (src.options_.variant == IndexVariant::kZOrder) {
+      tree->BuildAllZIndexes();
+    }
+    return tree;
+  }
 };
 
 Status SaveTQTree(const std::string& path, const TQTree& tree) {
@@ -210,6 +241,11 @@ Result<std::unique_ptr<TQTree>> LoadTQTree(const std::string& path,
                                            const TrajectorySet* users) {
   TQ_CHECK(users != nullptr);
   return TQTreeSerializer::Load(path, users);
+}
+
+std::unique_ptr<TQTree> CloneTQTree(const TQTree& tree,
+                                    const TrajectorySet* users) {
+  return TQTreeSerializer::Clone(tree, users);
 }
 
 }  // namespace tq

@@ -99,6 +99,11 @@ class TQTree {
   /// kBasic trees and for empty lists.
   const ZIndex* zindex(int32_t idx);
 
+  /// Rebuilds every dirty z-index now (no-op for kBasic trees). After this,
+  /// queries are read-only until the next Insert/Remove — the freezing step
+  /// the concurrent runtime performs before publishing a tree snapshot.
+  void BuildAllZIndexes();
+
   /// Inserts trajectory `traj_id` of the user set (as a whole unit or as all
   /// of its segments, per the tree mode). O(h) descent per unit (§III-C).
   void Insert(uint32_t traj_id);
@@ -130,7 +135,6 @@ class TQTree {
                   double ub, const ServiceAggregates& agg);
   /// Child of `idx` whose rect contains `mbr`, or -1.
   int32_t ChildContaining(int32_t idx, const Rect& mbr) const;
-  void BuildAllZIndexes();
 
   const TrajectorySet* users_;
   TQTreeOptions options_;

@@ -241,6 +241,59 @@ TEST(TopK, AncestorStoredPartialServiceIsCounted) {
   EXPECT_DOUBLE_EQ(eval.Evaluate(0, catalog.grid(0)), 0.5);
 }
 
+TEST(TopK, TieBreakingByIdMatchesExhaustive) {
+  // Regression for ranking nondeterminism: a catalog engineered so several
+  // facilities have EXACTLY equal service values (duplicated stop
+  // sequences evaluate to bitwise-identical SO). The best-first search and
+  // the exhaustive sort must agree on the full id sequence, which pins the
+  // documented tie rule: descending value, ascending facility id.
+  const ServiceModel model = ServiceModel::PointCount(250.0);
+  World world = World::Make(619, 300, 2, 6, 4, model);
+  // Facilities: 4 distinct routes, each duplicated — ids {0,4}, {1,5},
+  // {2,6}, {3,7} form exact-tie groups, interleaved so id order and value
+  // order disagree.
+  TrajectorySet facs;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (uint32_t f = 0; f < world.facilities.size(); ++f) {
+      facs.Add(world.facilities.points(f));
+    }
+  }
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = model;
+  TQTree tree(&world.users, opt);
+  const ServiceEvaluator eval(&world.users, model);
+  const FacilityCatalog catalog(&facs, model.psi);
+
+  const size_t k = facs.size();
+  const TopKResult bf = TopKFacilitiesTQ(&tree, catalog, eval, k);
+  const TopKResult ex = TopKFacilitiesExhaustiveTQ(&tree, catalog, eval, k);
+  ASSERT_EQ(bf.ranked.size(), k);
+  ASSERT_EQ(ex.ranked.size(), k);
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(bf.ranked[i].id, ex.ranked[i].id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(bf.ranked[i].value, ex.ranked[i].value) << "rank " << i;
+  }
+  // The tie groups really are exact ties, and within each the smaller id
+  // must precede the larger.
+  const size_t half = world.facilities.size();
+  for (uint32_t f = 0; f < half; ++f) {
+    const auto pos = [&](FacilityId id) {
+      for (size_t i = 0; i < k; ++i) {
+        if (bf.ranked[i].id == id) return i;
+      }
+      return k;
+    };
+    const size_t lo = pos(f);
+    const size_t hi = pos(static_cast<FacilityId>(f + half));
+    ASSERT_LT(lo, k);
+    ASSERT_LT(hi, k);
+    EXPECT_DOUBLE_EQ(bf.ranked[lo].value, bf.ranked[hi].value);
+    EXPECT_LT(lo, hi) << "tie between facility " << f << " and " << f + half
+                      << " not broken by ascending id";
+  }
+}
+
 TEST(BaselineService, MatchesOracleDirectly) {
   Rng rng(615);
   const Rect w = Rect::Of(0, 0, 20000, 20000);

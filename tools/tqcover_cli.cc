@@ -9,16 +9,22 @@
 //   tqcover_cli cover    --users trips.bin --facilities routes.bin --k 8
 //   tqcover_cli topk ... --save-index trips.tqt   # persist the TQ-tree
 //   tqcover_cli topk ... --load-index trips.tqt   # reuse it
+//   tqcover_cli serve    --users trips.bin --facilities routes.bin
+//                        --threads 4 --queries 2000   # concurrent runtime
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "common/timer.h"
 #include "cover/genetic.h"
 #include "cover/greedy.h"
 #include "datagen/presets.h"
 #include "query/baseline.h"
 #include "query/topk.h"
+#include "runtime/engine.h"
 #include "tqtree/serialize.h"
 #include "traj/io.h"
 #include "traj/stats.h"
@@ -59,6 +65,10 @@ int Usage() {
       "           [--save-index FILE] [--load-index FILE]\n"
       "  cover    --users FILE --facilities FILE [--k 8] [--psi 200]\n"
       "           [--scenario ...] [--solver greedy|genetic|baseline]\n"
+      "  serve    --users FILE --facilities FILE [--threads 4]\n"
+      "           [--queries 1000] [--topk-every 0] [--k 8] [--psi 200]\n"
+      "           [--scenario ...] [--beta 64] [--cache 4096]\n"
+      "           [--updates 0] [--update-size 64]\n"
       "files: .bin (packed binary) or anything else (CSV x1,y1;x2,y2;...)\n");
   return 2;
 }
@@ -231,6 +241,90 @@ int CmdCover(const Args& args) {
   return 0;
 }
 
+// Drives the concurrent runtime: a query stream (service values round-robin
+// over facilities, optionally interleaved with top-k), with optional update
+// batches published mid-stream, then a throughput + metrics report.
+int CmdServe(const Args& args) {
+  tq::TrajectorySet users, facilities;
+  Status st = LoadSet(args.Get("users"), &users);
+  if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (facilities.empty()) {
+    std::fprintf(stderr, "serve: facility set is empty\n");
+    return 1;
+  }
+  tq::runtime::EngineOptions options;
+  options.num_threads = std::max<size_t>(1, args.GetSize("threads", 4));
+  options.cache_capacity = args.GetSize("cache", 4096);
+  options.tree.beta = args.GetSize("beta", 64);
+  options.tree.model = ModelFromArgs(args);
+  const size_t num_queries = args.GetSize("queries", 1000);
+  const size_t topk_every = args.GetSize("topk-every", 0);
+  const size_t k = args.GetSize("k", 8);
+  const size_t num_updates = args.GetSize("updates", 0);
+  const size_t update_size = args.GetSize("update-size", 64);
+
+  const size_t num_users = users.size();
+  tq::Timer build_timer;
+  tq::runtime::Engine engine(std::move(users), std::move(facilities),
+                             options);
+  const double build_s = build_timer.ElapsedSeconds();
+  // Read the catalog size and drop the snapshot pointer: holding it for the
+  // whole run would pin version 1 (tree + user set) in memory across every
+  // update publish.
+  const size_t num_facilities = engine.snapshot()->catalog->size();
+  std::printf("engine up: %zu users, %zu facilities, %zu threads "
+              "(built in %.3f s)\n",
+              num_users, num_facilities, options.num_threads, build_s);
+
+  tq::Timer serve_timer;
+  std::vector<std::future<tq::runtime::QueryResponse>> futures;
+  futures.reserve(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    if (topk_every > 0 && q % topk_every == 0) {
+      futures.push_back(engine.Submit(tq::runtime::QueryRequest::TopK(k)));
+    } else {
+      const auto f = static_cast<tq::FacilityId>(q % num_facilities);
+      futures.push_back(
+          engine.Submit(tq::runtime::QueryRequest::ServiceValue(f)));
+    }
+    // Churn: periodically re-publish a snapshot that removes and re-inserts
+    // one trajectory block, exercising the copy-on-write writer mid-stream.
+    if (num_updates > 0 && q > 0 &&
+        q % std::max<size_t>(1, num_queries / num_updates) == 0) {
+      tq::runtime::UpdateBatch batch;
+      const auto cur = engine.snapshot();
+      for (size_t i = 0; i < update_size && i < cur->users->size(); ++i) {
+        const auto id = static_cast<uint32_t>((q + i) % cur->users->size());
+        const auto pts = cur->users->points(id);
+        batch.inserts.emplace_back(pts.begin(), pts.end());
+        batch.removes.push_back(id);
+      }
+      engine.ApplyUpdates(batch);
+    }
+  }
+  double checksum = 0.0;
+  for (auto& f : futures) checksum += f.get().value;
+  const double serve_s = serve_timer.ElapsedSeconds();
+
+  const tq::runtime::MetricsView m = engine.metrics().Read();
+  std::printf("served %zu queries in %.3f s — %.0f queries/s "
+              "(checksum %.3f)\n",
+              num_queries, serve_s,
+              static_cast<double>(num_queries) / serve_s, checksum);
+  std::printf("snapshot version: %llu\n",
+              static_cast<unsigned long long>(engine.snapshot()->version));
+  std::printf("cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(m.cache_hits),
+              static_cast<unsigned long long>(m.cache_misses),
+              100.0 * m.CacheHitRate());
+  std::printf("# metrics: %s\n", m.ToJson().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,5 +339,6 @@ int main(int argc, char** argv) {
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "topk") return CmdTopK(args);
   if (args.command == "cover") return CmdCover(args);
+  if (args.command == "serve") return CmdServe(args);
   return Usage();
 }

@@ -1,15 +1,18 @@
-// Concurrent runtime throughput: queries/sec of the serving engine
-// (src/runtime/engine.h) at 1/2/4/8 worker threads on the NYF preset.
+// Concurrent runtime throughput on the NYF preset: queries/sec of the
+// unsharded serving engine (src/runtime/engine.h) at 1/2/4/8 worker
+// threads, then the sharded scatter/gather engine
+// (src/runtime/sharded_engine.h) across a shards × threads matrix.
 //
-// Two series per thread count:
+// Two series per configuration:
 //   * qps        — result cache disabled: raw compute scaling of the
-//                  sharded executor over lock-free snapshot readers.
+//                  executor over lock-free snapshot readers.
 //   * cached_qps — warm sharded LRU cache: the serving steady state where
 //                  popular facilities repeat.
 //
-// Besides the usual table + "# csv:" lines, emits one "# json:" line with
-// the whole result set so BENCH_*.json trajectories can track queries/sec
-// across PRs. Honors REPRO_SCALE / REPRO_FULL (bench_util.h).
+// Besides the usual table + "# csv:" lines, emits two "# json:" lines
+// ("runtime_throughput" and "runtime_throughput_sharded") so the
+// BENCH_runtime.json trajectory can track queries/sec across PRs. Honors
+// REPRO_SCALE / REPRO_FULL (bench_util.h).
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -17,6 +20,7 @@
 
 #include "bench_util.h"
 #include "runtime/engine.h"
+#include "runtime/sharded_engine.h"
 
 namespace {
 
@@ -24,8 +28,11 @@ using tq::runtime::Engine;
 using tq::runtime::EngineOptions;
 using tq::runtime::QueryRequest;
 using tq::runtime::QueryResponse;
+using tq::runtime::ShardedEngine;
+using tq::runtime::ShardedEngineOptions;
 
 struct ThroughputResult {
+  size_t shards = 0;  // 0 = unsharded engine
   size_t threads = 0;
   double qps = 0.0;
   double cached_qps = 0.0;
@@ -33,8 +40,10 @@ struct ThroughputResult {
 
 // Wall-clock queries/sec for `num_queries` service-value queries issued
 // round-robin over the catalog. `warm_pass` first runs the same stream once
-// so a second, measured pass hits the cache.
-double MeasureQps(Engine* engine, size_t num_queries, bool warm_pass) {
+// so a second, measured pass hits the cache. Works for both engine types —
+// they speak the same Submit/QueryRequest protocol.
+template <typename EngineT>
+double MeasureQps(EngineT* engine, size_t num_queries, bool warm_pass) {
   const size_t num_fac = engine->snapshot()->catalog->size();
   const auto run = [&]() {
     std::vector<std::future<QueryResponse>> futures;
@@ -123,5 +132,59 @@ int main() {
                 results[i].cached_qps);
   }
   std::printf("],\"speedup_8v1\":%.3f}\n", speedup);
+
+  // Sharded scatter/gather: the shards × threads matrix. Shard count 1 vs
+  // the unsharded series above isolates the scatter/gather overhead; higher
+  // shard counts show partitioned-tree scaling.
+  tq::bench::Banner("Sharded runtime throughput — shards × threads matrix");
+  tq::bench::PrintSeriesHeader({"qps", "cached_qps"});
+  std::vector<ThroughputResult> sharded_results;
+  for (const size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const size_t threads : {1u, 2u, 4u, 8u}) {
+      ThroughputResult r;
+      r.shards = shards;
+      r.threads = threads;
+      {
+        ShardedEngineOptions options;
+        options.num_shards = shards;
+        options.num_threads = threads;
+        options.cache_capacity = 0;  // raw compute scaling
+        options.tree.beta = env.DefaultBeta();
+        options.tree.model = model;
+        ShardedEngine engine(users, routes, options);
+        r.qps = MeasureQps(&engine, num_queries, /*warm_pass=*/false);
+      }
+      {
+        ShardedEngineOptions options;
+        options.num_shards = shards;
+        options.num_threads = threads;
+        options.cache_capacity = 4096;
+        options.tree.beta = env.DefaultBeta();
+        options.tree.model = model;
+        ShardedEngine engine(users, routes, options);
+        r.cached_qps = MeasureQps(&engine, num_queries, /*warm_pass=*/true);
+      }
+      sharded_results.push_back(r);
+      char label[48];
+      std::snprintf(label, sizeof(label), "shards=%zu,thr=%zu", shards,
+                    threads);
+      tq::bench::PrintTimeRow(label, {"qps", "cached_qps"},
+                              {r.qps, r.cached_qps});
+    }
+  }
+
+  std::printf("# json: {\"bench\":\"runtime_throughput_sharded\","
+              "\"preset\":\"nyf\",\"users\":%zu,\"facilities\":%zu,"
+              "\"queries\":%zu,\"cores\":%u,\"results\":[",
+              users.size(), routes.size(), num_queries, cores);
+  for (size_t i = 0; i < sharded_results.size(); ++i) {
+    std::printf(
+        "%s{\"shards\":%zu,\"threads\":%zu,\"qps\":%.1f,"
+        "\"cached_qps\":%.1f}",
+        i == 0 ? "" : ",", sharded_results[i].shards,
+        sharded_results[i].threads, sharded_results[i].qps,
+        sharded_results[i].cached_qps);
+  }
+  std::printf("]}\n");
   return 0;
 }

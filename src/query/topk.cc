@@ -84,13 +84,21 @@ TopKResult TopKFacilitiesTQ(TQTree* tree, const FacilityCatalog& catalog,
   if (k == 0) return result;
 
   const bool segmented = tree->options().mode == TrajMode::kSegmented;
-  // Ancestor inter-node lists can only be skipped when a unit with any
-  // service at all must lie fully inside the facility EMBR — exactly the
-  // kStartEnd condition (both unit endpoints within ψ of a stop). Partial
-  // service models (kStartOrEnd/kMbr) can credit units whose other points
-  // stray outside the EMBR, and such units may be stored at ancestors.
+  // Ancestor inter-node lists can only be skipped when a unit stored at a
+  // proper ancestor of ContainingNode(EMBR) provably scores zero. A unit is
+  // stored at an ancestor exactly when its MBR is not contained in that
+  // node's rect, so its MBR is not contained in the EMBR either. Two
+  // conditions must then hold together:
+  //   * kStartEnd pruning — only units with BOTH endpoints inside the EMBR
+  //     can score at all (no partial credit), and
+  //   * two-point units — the unit MBR is the endpoint MBR, so "both
+  //     endpoints inside the EMBR" implies "MBR inside the EMBR".
+  // Whole multipoint trajectories under the endpoints model satisfy the
+  // first but not the second: middle points inflate the stored MBR beyond
+  // the served endpoints, parking served units at ancestors.
   const bool include_ancestors =
-      tree->prune_mode() != ZPruneMode::kStartEnd;
+      !(tree->two_point_units() &&
+        tree->prune_mode() == ZPruneMode::kStartEnd);
 
   std::vector<FacState> states(num_fac);
   std::priority_queue<HeapItem, std::vector<HeapItem>, HeapLess> pq;
@@ -142,11 +150,7 @@ TopKResult TopKFacilitiesExhaustiveTQ(TQTree* tree,
     all[f].value =
         EvaluateServiceTQ(tree, eval, catalog.grid(f), &result.stats);
   }
-  std::sort(all.begin(), all.end(),
-            [](const RankedFacility& a, const RankedFacility& b) {
-              if (a.value != b.value) return a.value > b.value;
-              return a.id < b.id;
-            });
+  std::sort(all.begin(), all.end(), RankedBefore);
   k = std::min(k, all.size());
   all.resize(k);
   result.ranked = std::move(all);

@@ -17,6 +17,14 @@ struct RankedFacility {
   double value = 0.0;
 };
 
+/// THE ranking order of every kMaxRRST surface (exhaustive sort, best-first
+/// completion, sharded gather merge): value descending, exact ties broken by
+/// ascending facility id for determinism.
+inline bool RankedBefore(const RankedFacility& a, const RankedFacility& b) {
+  if (a.value != b.value) return a.value > b.value;
+  return a.id < b.id;
+}
+
 /// Result of a kMaxRRST query: `ranked` holds k facilities in descending
 /// service-value order (ties broken by facility id for determinism).
 struct TopKResult {

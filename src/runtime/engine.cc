@@ -1,6 +1,5 @@
 #include "runtime/engine.h"
 
-#include <cstring>
 #include <utility>
 
 #include "common/check.h"
@@ -8,17 +7,6 @@
 #include "tqtree/serialize.h"
 
 namespace tq::runtime {
-
-namespace {
-
-uint64_t PsiBits(double psi) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(psi));
-  std::memcpy(&bits, &psi, sizeof(bits));
-  return bits;
-}
-
-}  // namespace
 
 Engine::Engine(TrajectorySet users, TrajectorySet facilities,
                EngineOptions options)

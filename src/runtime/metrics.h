@@ -28,6 +28,12 @@ struct MetricsView {
   uint64_t cache_evictions = 0;
   uint64_t cache_invalidated = 0;
   uint64_t snapshots_published = 0;
+  /// Per-shard scatter tasks executed by the sharded engine (one query fans
+  /// out into num_shards of these); 0 on the unsharded engine.
+  uint64_t shard_tasks = 0;
+  /// Individual shard snapshots republished by writers (a single publish
+  /// touching 2 of 8 shards counts 2); 0 on the unsharded engine.
+  uint64_t shard_publishes = 0;
   uint64_t trajectories_inserted = 0;
   uint64_t trajectories_removed = 0;
   uint64_t nodes_visited = 0;
@@ -60,6 +66,8 @@ struct MetricsView {
     field("cache_evictions", cache_evictions);
     field("cache_invalidated", cache_invalidated);
     field("snapshots_published", snapshots_published);
+    field("shard_tasks", shard_tasks);
+    field("shard_publishes", shard_publishes);
     field("trajectories_inserted", trajectories_inserted);
     field("trajectories_removed", trajectories_removed);
     field("nodes_visited", nodes_visited);
@@ -97,6 +105,12 @@ class MetricsRegistry {
   void AddSnapshotPublished() {
     snapshots_published_.fetch_add(1, std::memory_order_relaxed);
   }
+  void AddShardTask() {
+    shard_tasks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddShardPublishes(uint64_t n) {
+    if (n) shard_publishes_.fetch_add(n, std::memory_order_relaxed);
+  }
   void AddInserted(uint64_t n) {
     if (n) trajectories_inserted_.fetch_add(n, std::memory_order_relaxed);
   }
@@ -123,6 +137,8 @@ class MetricsRegistry {
     v.cache_invalidated = cache_invalidated_.load(std::memory_order_relaxed);
     v.snapshots_published =
         snapshots_published_.load(std::memory_order_relaxed);
+    v.shard_tasks = shard_tasks_.load(std::memory_order_relaxed);
+    v.shard_publishes = shard_publishes_.load(std::memory_order_relaxed);
     v.trajectories_inserted =
         trajectories_inserted_.load(std::memory_order_relaxed);
     v.trajectories_removed =
@@ -143,6 +159,8 @@ class MetricsRegistry {
   std::atomic<uint64_t> cache_evictions_{0};
   std::atomic<uint64_t> cache_invalidated_{0};
   std::atomic<uint64_t> snapshots_published_{0};
+  std::atomic<uint64_t> shard_tasks_{0};
+  std::atomic<uint64_t> shard_publishes_{0};
   std::atomic<uint64_t> trajectories_inserted_{0};
   std::atomic<uint64_t> trajectories_removed_{0};
   std::atomic<uint64_t> nodes_visited_{0};

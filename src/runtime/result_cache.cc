@@ -58,6 +58,32 @@ size_t ResultCache::InvalidateBefore(uint64_t version) {
   return dropped;
 }
 
+size_t ResultCache::InvalidateShardBefore(uint32_t shard,
+                                          uint64_t generation) {
+  return InvalidateShardsBefore({shard}, generation);
+}
+
+size_t ResultCache::InvalidateShardsBefore(
+    const std::vector<uint32_t>& shards, uint64_t generation) {
+  if (shards.empty()) return 0;
+  size_t dropped = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    for (auto it = s->lru.begin(); it != s->lru.end();) {
+      if (it->key.snapshot_version < generation &&
+          std::find(shards.begin(), shards.end(), it->key.shard) !=
+              shards.end()) {
+        s->index.erase(it->key);
+        it = s->lru.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return dropped;
+}
+
 size_t ResultCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

@@ -1,12 +1,19 @@
 // Sharded LRU cache memoising EvaluateServiceTQ results for the serving
 // engine.
 //
-// Key = (facility id, ψ bits, snapshot version): a service value is a pure
-// function of the user set and the facility's stop disk radius, and the user
-// set is identified by the snapshot version — so a hit is exact, never
-// approximate. Entries from superseded snapshots become unreachable the
-// moment the engine publishes a new version; InvalidateBefore() reclaims
-// their memory eagerly on publish, LRU eviction reclaims the rest lazily.
+// Key = (facility id, ψ bits, snapshot version, data shard): a service value
+// is a pure function of the user set and the facility's stop disk radius,
+// and the user set is identified by the snapshot version — so a hit is
+// exact, never approximate. Entries from superseded snapshots become
+// unreachable the moment the engine publishes a new version;
+// InvalidateBefore() reclaims their memory eagerly on publish, LRU eviction
+// reclaims the rest lazily.
+//
+// The data-shard component serves the sharded engine (sharded_engine.h): it
+// caches one entry per (facility, user shard), versioned by that shard's own
+// publish generation, so republishing a single shard invalidates only that
+// shard's entries (InvalidateShardBefore) and the other shards keep hitting.
+// The unsharded engine leaves the field at 0.
 //
 // Sharding: key-hash partitioning into independently locked shards keeps the
 // cache off the critical path — worker threads contend only when they hash
@@ -15,6 +22,7 @@
 #define TQCOVER_RUNTIME_RESULT_CACHE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -25,6 +33,14 @@
 
 namespace tq::runtime {
 
+/// Bit pattern of ψ for exact-equality cache keying.
+inline uint64_t PsiBits(double psi) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(psi));
+  std::memcpy(&bits, &psi, sizeof(bits));
+  return bits;
+}
+
 /// Thread-safe sharded LRU map from (facility, ψ, snapshot version) to a
 /// cached service value. A zero capacity disables the cache (every Get
 /// misses, Put is a no-op) — used by benches measuring raw compute scaling.
@@ -33,11 +49,15 @@ class ResultCache {
   struct Key {
     FacilityId facility = 0;
     uint64_t psi_bits = 0;  // bit pattern of ψ (doubles as exact equality)
+    /// Snapshot version (unsharded engine) or the owning shard's publish
+    /// generation (sharded engine).
     uint64_t snapshot_version = 0;
+    /// Data shard the value was computed on; 0 for the unsharded engine.
+    uint32_t shard = 0;
 
     bool operator==(const Key& o) const {
       return facility == o.facility && psi_bits == o.psi_bits &&
-             snapshot_version == o.snapshot_version;
+             snapshot_version == o.snapshot_version && shard == o.shard;
     }
   };
 
@@ -58,6 +78,17 @@ class ResultCache {
   /// (publish-time invalidation). Returns the number dropped.
   size_t InvalidateBefore(uint64_t version);
 
+  /// Drops every entry of data shard `shard` whose generation is older than
+  /// `generation`, leaving other shards' entries untouched (single-shard
+  /// publish invalidation). Returns the number dropped.
+  size_t InvalidateShardBefore(uint32_t shard, uint64_t generation);
+
+  /// Same, for all of `shards` in one pass over the cache — a write batch
+  /// republishing several data shards at one generation invalidates them
+  /// with a single scan instead of one per shard.
+  size_t InvalidateShardsBefore(const std::vector<uint32_t>& shards,
+                                uint64_t generation);
+
   /// Current number of cached entries (sums shard sizes; approximate under
   /// concurrent mutation).
   size_t size() const;
@@ -69,9 +100,11 @@ class ResultCache {
   };
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      // 64-bit mix of the three components (splitmix64 finalizer).
+      // 64-bit mix of the four components (splitmix64 finalizer).
       uint64_t h = k.psi_bits ^ (k.snapshot_version * 0x9e3779b97f4a7c15ull) ^
-                   (static_cast<uint64_t>(k.facility) << 32);
+                   (static_cast<uint64_t>(k.facility) << 32) ^
+                   (static_cast<uint64_t>(k.shard) *
+                    0xd1342543de82ef95ull);
       h ^= h >> 30;
       h *= 0xbf58476d1ce4e5b9ull;
       h ^= h >> 27;

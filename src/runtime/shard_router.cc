@@ -1,0 +1,49 @@
+#include "runtime/shard_router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "zorder/zid.h"
+
+namespace tq::runtime {
+
+ShardRouter::ShardRouter(const TrajectorySet& users, const Rect& world,
+                         size_t num_shards)
+    : world_(world) {
+  const size_t n = std::max<size_t>(1, num_shards);
+  if (n == 1) return;
+
+  std::vector<uint64_t> keys;
+  keys.reserve(users.size());
+  for (uint32_t u = 0; u < users.size(); ++u) {
+    keys.push_back(KeyOf(users.points(u)));
+  }
+  std::sort(keys.begin(), keys.end());
+
+  // Equal-count quantile splits of the initial key multiset. With no users
+  // every split is 0, so all traffic routes to the last shard — a degenerate
+  // but still total partition.
+  splits_.reserve(n - 1);
+  for (size_t i = 1; i < n; ++i) {
+    const size_t pos = i * keys.size() / n;
+    splits_.push_back(keys.empty() ? 0 : keys[pos]);
+  }
+  TQ_DCHECK(std::is_sorted(splits_.begin(), splits_.end()));
+}
+
+uint64_t ShardRouter::KeyOf(std::span<const Point> traj) const {
+  // Hard check (release builds too): ApplyUpdates routes raw tenant input
+  // before TrajectorySet::Add gets a chance to reject an empty trajectory.
+  TQ_CHECK(!traj.empty());
+  return MortonKey(world_, traj.front());
+}
+
+size_t ShardRouter::RouteKey(uint64_t key) const {
+  // Number of split keys <= key; ranges are half-open [s_{i-1}, s_i), so a
+  // key equal to a split belongs to the shard on its right.
+  return static_cast<size_t>(
+      std::upper_bound(splits_.begin(), splits_.end(), key) -
+      splits_.begin());
+}
+
+}  // namespace tq::runtime

@@ -1,0 +1,320 @@
+#include "runtime/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "common/check.h"
+#include "query/eval_service.h"
+#include "tqtree/serialize.h"
+
+namespace tq::runtime {
+
+// Shared per-query scatter/gather state. Each shard task writes only its own
+// slots; the last task to finish (remaining hits zero) performs the gather,
+// so no pool thread ever blocks on another task.
+struct ShardedEngine::GatherState {
+  QueryRequest request;
+  ShardedSnapshotPtr snap;  // pins every shard's tree for the query
+  std::promise<QueryResponse> promise;
+  std::vector<double> values;                   // kServiceValue: per shard
+  std::vector<std::vector<double>> fac_values;  // kTopK: per shard, per fac
+  std::vector<QueryStats> stats;                // per shard
+  std::vector<uint8_t> hits;                    // per shard: all lookups hit
+  std::atomic<size_t> remaining{0};
+};
+
+ShardedEngine::ShardedEngine(TrajectorySet users, TrajectorySet facilities,
+                             ShardedEngineOptions options)
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards),
+      router_(users,
+              users.empty() ? Rect::Of(0, 0, 1, 1) : users.BoundingBox(),
+              std::max<size_t>(1, options.num_shards)),
+      pool_(options.num_threads) {
+  // Partition the initial users; global id = position in `users`, preserved
+  // by the registry so later removes can find (shard, local id).
+  const size_t n = router_.num_shards();
+  std::vector<TrajectorySet> shard_sets(n);
+  users_.reserve(users.size());
+  for (uint32_t u = 0; u < users.size(); ++u) {
+    const auto shard = static_cast<uint32_t>(router_.Route(users.points(u)));
+    const uint32_t local = shard_sets[shard].Add(users.points(u));
+    users_.push_back(UserLocation{shard, local});
+  }
+
+  auto facilities_ptr =
+      std::make_shared<TrajectorySet>(std::move(facilities));
+  auto snap = std::make_shared<ShardedSnapshot>();
+  snap->version = 1;
+  snap->facilities = facilities_ptr;
+  snap->catalog = std::make_shared<FacilityCatalog>(facilities_ptr.get(),
+                                                    options_.tree.model.psi);
+  snap->shards.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto shard_users =
+        std::make_shared<TrajectorySet>(std::move(shard_sets[s]));
+    auto tree = std::make_shared<TQTree>(shard_users.get(), options_.tree);
+    tree->BuildAllZIndexes();  // freeze: published trees are never written
+    auto state = std::make_shared<ShardState>();
+    state->shard = static_cast<uint32_t>(s);
+    state->generation = 1;
+    state->tree = std::move(tree);
+    state->eval = std::make_shared<ServiceEvaluator>(shard_users.get(),
+                                                     options_.tree.model);
+    state->users = std::move(shard_users);
+    snap->shards.push_back(std::move(state));
+  }
+  Publish(std::move(snap), n);
+}
+
+ShardedEngine::~ShardedEngine() = default;  // pool_ last member: joins first
+
+void ShardedEngine::Publish(ShardedSnapshotPtr snap,
+                            uint64_t shards_republished) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snap);
+  }
+  metrics_.AddSnapshotPublished();
+  metrics_.AddShardPublishes(shards_republished);
+}
+
+ShardedSnapshotPtr ShardedEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+ShardedEngine::UserLocation ShardedEngine::LocateUser(
+    uint32_t global_id) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  TQ_CHECK(global_id < users_.size());
+  return users_[global_id];
+}
+
+size_t ShardedEngine::NumUsersTotal() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return users_.size();
+}
+
+std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
+  auto state = std::make_shared<GatherState>();
+  state->request = request;
+  state->snap = snapshot();
+  std::future<QueryResponse> future = state->promise.get_future();
+  metrics_.AddQuery(request.kind == QueryKind::kTopK);
+
+  // Malformed tenant requests come back as errors before any scatter.
+  if (request.kind == QueryKind::kServiceValue &&
+      request.facility >= state->snap->catalog->size()) {
+    QueryResponse response;
+    response.kind = request.kind;
+    response.snapshot_version = state->snap->version;
+    response.status = Status::OutOfRange(
+        "facility id " + std::to_string(request.facility) +
+        " out of range (catalog has " +
+        std::to_string(state->snap->catalog->size()) + ")");
+    state->promise.set_value(std::move(response));
+    return future;
+  }
+
+  const size_t n = state->snap->shards.size();
+  state->values.resize(n, 0.0);
+  state->fac_values.resize(n);
+  state->stats.resize(n);
+  state->hits.assign(n, 0);
+  state->remaining.store(n, std::memory_order_relaxed);
+  for (size_t s = 0; s < n; ++s) {
+    pool_.Post([this, state, s]() { ExecuteShard(state, s); });
+  }
+  return future;
+}
+
+std::vector<QueryResponse> ShardedEngine::RunBatch(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(batch.size());
+  for (const QueryRequest& request : batch) futures.push_back(Submit(request));
+  std::vector<QueryResponse> responses;
+  responses.reserve(batch.size());
+  for (auto& f : futures) responses.push_back(f.get());
+  return responses;
+}
+
+double ShardedEngine::ShardServiceValue(const ShardState& shard,
+                                        const FacilityCatalog& catalog,
+                                        FacilityId f, QueryStats* stats,
+                                        bool* cache_hit) {
+  const ResultCache::Key key{f, PsiBits(catalog.psi()), shard.generation,
+                             shard.shard};
+  double value = 0.0;
+  if (cache_.Get(key, &value)) {
+    *cache_hit = true;
+    metrics_.AddCacheHit();
+    return value;
+  }
+  *cache_hit = false;
+  value = EvaluateServiceTQ(shard.tree.get(), *shard.eval, catalog.grid(f),
+                            stats);
+  if (cache_.enabled()) {
+    metrics_.AddCacheMiss();
+    metrics_.AddCacheEvictions(cache_.Put(key, value));
+  }
+  return value;
+}
+
+void ShardedEngine::ExecuteShard(const std::shared_ptr<GatherState>& state,
+                                 size_t shard_idx) {
+  const ShardState& shard = *state->snap->shards[shard_idx];
+  const FacilityCatalog& catalog = *state->snap->catalog;
+  QueryStats stats;
+  bool hit = false;
+  if (state->request.kind == QueryKind::kServiceValue) {
+    state->values[shard_idx] = ShardServiceValue(
+        shard, catalog, state->request.facility, &stats, &hit);
+  } else {
+    // Top-k needs this shard's contribution for EVERY facility: a global
+    // winner may rank arbitrarily low within a single shard, so per-shard
+    // top-k lists alone cannot be merged soundly. Warm cache entries from
+    // earlier service-value traffic (same keys) short-circuit most of it.
+    std::vector<double>& values = state->fac_values[shard_idx];
+    values.resize(catalog.size(), 0.0);
+    hit = true;
+    for (uint32_t f = 0; f < catalog.size(); ++f) {
+      bool f_hit = false;
+      values[f] = ShardServiceValue(shard, catalog, f, &stats, &f_hit);
+      hit = hit && f_hit;
+    }
+  }
+  state->stats[shard_idx] = stats;
+  state->hits[shard_idx] = hit ? 1 : 0;
+  metrics_.AddShardTask();
+  // acq_rel: the last decrementer acquires every other task's slot writes.
+  if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    Gather(state.get());
+  }
+}
+
+void ShardedEngine::Gather(GatherState* state) {
+  const ShardedSnapshot& snap = *state->snap;
+  const size_t n = snap.shards.size();
+  QueryResponse response;
+  response.kind = state->request.kind;
+  response.snapshot_version = snap.version;
+
+  QueryStats total;
+  bool all_hit = true;
+  for (size_t s = 0; s < n; ++s) {
+    total.Add(state->stats[s]);
+    all_hit = all_hit && state->hits[s] != 0;
+  }
+  response.cache_hit = all_hit;
+  response.stats = total;
+
+  if (state->request.kind == QueryKind::kServiceValue) {
+    // Disjoint user partition: SO(U, f) = Σ_s SO(U_s, f), summed in
+    // ascending shard order so the gather is deterministic.
+    double sum = 0.0;
+    for (const double v : state->values) sum += v;
+    response.value = sum;
+  } else {
+    const size_t num_fac = snap.catalog->size();
+    std::vector<RankedFacility> all(num_fac);
+    for (uint32_t f = 0; f < num_fac; ++f) {
+      double sum = 0.0;
+      for (size_t s = 0; s < n; ++s) sum += state->fac_values[s][f];
+      all[f] = RankedFacility{f, sum};
+    }
+    const size_t k = std::min(state->request.k, num_fac);
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(k),
+                      all.end(), RankedBefore);
+    all.resize(k);
+    response.ranked = std::move(all);
+  }
+  metrics_.RecordQueryStats(total);
+  state->promise.set_value(std::move(response));
+}
+
+std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const ShardedSnapshotPtr cur = snapshot();
+  const size_t n = cur->shards.size();
+
+  // Route inserts and pre-assign shard-local ids (append positions in each
+  // shard's copy-on-write user set), then register global ids — in batch
+  // order, so a remove in this same batch can already reference them.
+  std::vector<std::vector<uint32_t>> shard_inserts(n);  // batch indices
+  std::vector<uint32_t> next_local(n);
+  for (size_t s = 0; s < n; ++s) {
+    next_local[s] = static_cast<uint32_t>(cur->shards[s]->users->size());
+  }
+  std::vector<UserLocation> new_locations;
+  new_locations.reserve(batch.inserts.size());
+  for (size_t i = 0; i < batch.inserts.size(); ++i) {
+    const auto shard = static_cast<uint32_t>(router_.Route(batch.inserts[i]));
+    shard_inserts[shard].push_back(static_cast<uint32_t>(i));
+    new_locations.push_back(UserLocation{shard, next_local[shard]++});
+  }
+  std::vector<uint32_t> new_ids;
+  new_ids.reserve(batch.inserts.size());
+  std::vector<std::vector<uint32_t>> shard_removes(n);  // local ids
+  {
+    std::lock_guard<std::mutex> reg_lock(registry_mu_);
+    for (const UserLocation& loc : new_locations) {
+      new_ids.push_back(static_cast<uint32_t>(users_.size()));
+      users_.push_back(loc);
+    }
+    for (const uint32_t gid : batch.removes) {
+      if (gid >= users_.size()) continue;  // unknown id: ignore, like Remove
+      shard_removes[users_[gid].shard].push_back(users_[gid].local_id);
+    }
+  }
+
+  // Copy-on-write per shard: clone and republish ONLY shards this batch
+  // touches; the rest share their state (and cache entries) with `cur`.
+  auto next = std::make_shared<ShardedSnapshot>();
+  next->version = cur->version + 1;
+  next->facilities = cur->facilities;
+  next->catalog = cur->catalog;
+  next->shards = cur->shards;
+  uint64_t removed = 0;
+  std::vector<uint32_t> touched_shards;
+  for (size_t s = 0; s < n; ++s) {
+    if (shard_inserts[s].empty() && shard_removes[s].empty()) continue;
+    const ShardState& old = *cur->shards[s];
+    auto users = std::make_shared<TrajectorySet>(*old.users);
+    std::vector<uint32_t> locals;
+    locals.reserve(shard_inserts[s].size());
+    for (const uint32_t i : shard_inserts[s]) {
+      locals.push_back(users->Add(batch.inserts[i]));
+    }
+    std::shared_ptr<TQTree> tree = CloneTQTree(*old.tree, users.get());
+    for (const uint32_t local : locals) tree->Insert(local);
+    for (const uint32_t local : shard_removes[s]) {
+      if (tree->Remove(local)) ++removed;
+    }
+    tree->BuildAllZIndexes();  // freeze before publication
+
+    auto state = std::make_shared<ShardState>();
+    state->shard = static_cast<uint32_t>(s);
+    state->generation = next->version;
+    state->tree = std::move(tree);
+    state->eval =
+        std::make_shared<ServiceEvaluator>(users.get(), options_.tree.model);
+    state->users = std::move(users);
+    next->shards[s] = std::move(state);
+    touched_shards.push_back(static_cast<uint32_t>(s));
+  }
+  // One cache pass for the whole batch, however many shards it republished.
+  const size_t invalidated =
+      cache_.InvalidateShardsBefore(touched_shards, next->version);
+  Publish(std::move(next), touched_shards.size());
+
+  metrics_.AddInserted(new_ids.size());
+  metrics_.AddRemoved(removed);
+  metrics_.AddCacheInvalidated(invalidated);
+  return new_ids;
+}
+
+}  // namespace tq::runtime

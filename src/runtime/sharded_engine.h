@@ -1,0 +1,157 @@
+// Scatter/gather serving across N sharded TQ-trees.
+//
+// The unsharded Engine (engine.h) clones and republishes the WHOLE tree on
+// every write batch and answers every query from one tree. This layer
+// partitions the user set into N shards by Z-order range (shard_router.h),
+// each shard owning its own TQ-tree + evaluator over its own user subset:
+//
+//   * Queries scatter: a Submit fans one task per shard onto the thread
+//     pool; each task answers from its shard's frozen snapshot (cache-
+//     assisted), and the last finisher gathers — summing per-shard service
+//     values in ascending shard order, or merging per-shard per-facility
+//     value vectors into one ranked top-k list with the library's
+//     (value desc, facility id asc) tie-break. No pool thread ever blocks
+//     waiting on another task, so a pool of any size cannot deadlock.
+//   * Writers are incremental: a trajectory insert/remove batch is routed
+//     per shard, and only the AFFECTED shards are cloned (CloneTQTree) and
+//     republished. Untouched shards keep their snapshot, generation, and —
+//     because cache keys carry (shard, shard generation) — their warm
+//     result-cache entries.
+//   * Correctness of the merge: service is additive over a disjoint user
+//     partition, SO(U, f) = Σ_s SO(U_s, f). Whole trajectories (and, in
+//     segmented mode, all segments of a trajectory) stay within one shard,
+//     so no cross-shard deduplication is needed. Per-shard top-k lists
+//     alone would NOT compose — a global winner may rank low in every
+//     shard — so the gather merges full per-facility value vectors.
+//     For integer-valued service models (point counts, endpoint counts)
+//     the gathered sums are exactly the unsharded values, bit for bit.
+#ifndef TQCOVER_RUNTIME_SHARDED_ENGINE_H_
+#define TQCOVER_RUNTIME_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/metrics.h"
+#include "runtime/result_cache.h"
+#include "runtime/shard_router.h"
+#include "runtime/thread_pool.h"
+
+namespace tq::runtime {
+
+/// Sharded engine construction parameters.
+struct ShardedEngineOptions {
+  /// Number of user-set partitions, each with its own TQ-tree.
+  size_t num_shards = 4;
+  /// Worker threads executing per-shard scatter tasks.
+  size_t num_threads = 4;
+  /// Total service-value cache entries across lock shards; 0 disables.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  /// TQ-tree construction parameters (the service model lives here).
+  TQTreeOptions tree;
+};
+
+/// One shard's immutable published state. `generation` is the engine version
+/// at which this shard was last republished — it only moves when a write
+/// batch touches this shard, and it versions the shard's cache entries.
+struct ShardState {
+  uint32_t shard = 0;
+  uint64_t generation = 0;
+  std::shared_ptr<const TrajectorySet> users;  // this shard's users only
+  /// Frozen (all z-indexes built); non-const only because the query API
+  /// takes TQTree* — no query mutates a frozen tree.
+  std::shared_ptr<TQTree> tree;
+  std::shared_ptr<const ServiceEvaluator> eval;
+};
+using ShardStatePtr = std::shared_ptr<const ShardState>;
+
+/// The engine-wide immutable snapshot: the vector of per-shard states plus
+/// the shared facility side. A single-shard publish swaps one slot and bumps
+/// `version`; the other slots are shared with the previous snapshot.
+struct ShardedSnapshot {
+  uint64_t version = 0;
+  std::vector<ShardStatePtr> shards;
+  std::shared_ptr<const TrajectorySet> facilities;
+  std::shared_ptr<const FacilityCatalog> catalog;
+};
+using ShardedSnapshotPtr = std::shared_ptr<const ShardedSnapshot>;
+
+/// Multi-threaded scatter/gather engine over sharded TQ-trees. Thread-safe:
+/// any thread may Submit / RunBatch / ApplyUpdates / snapshot() concurrently.
+/// Writers are serialized among themselves; readers never block. Speaks the
+/// same QueryRequest/QueryResponse/UpdateBatch protocol as Engine.
+class ShardedEngine {
+ public:
+  ShardedEngine(TrajectorySet users, TrajectorySet facilities,
+                ShardedEngineOptions options);
+  /// Drains in-flight scatter tasks, then joins the worker pool.
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  const ShardedEngineOptions& options() const { return options_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  const ShardRouter& router() const { return router_; }
+  size_t num_shards() const { return router_.num_shards(); }
+
+  /// The currently published snapshot (cheap: one shared_ptr copy).
+  ShardedSnapshotPtr snapshot() const;
+
+  /// Where a global trajectory id lives. Global ids are assigned densely in
+  /// insertion order (initial set first, then ApplyUpdates batches).
+  struct UserLocation {
+    uint32_t shard = 0;
+    uint32_t local_id = 0;  // id within the shard's TrajectorySet
+  };
+  /// Lookup for tests/tools; `global_id` must be < total inserted users.
+  UserLocation LocateUser(uint32_t global_id) const;
+  /// Total users ever added (inserts are append-only; removes de-index).
+  size_t NumUsersTotal() const;
+
+  /// Scatters one query across all shards; the returned future completes
+  /// when the last shard's task has been gathered.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Submits every request, then blocks for all answers (in request order).
+  std::vector<QueryResponse> RunBatch(const std::vector<QueryRequest>& batch);
+
+  /// Routes `batch` per shard and republishes ONLY the affected shards
+  /// (copy-on-write clone per shard). Returns the global ids assigned to
+  /// `batch.inserts` (in order). Serialized internally; concurrent readers
+  /// are never blocked.
+  std::vector<uint32_t> ApplyUpdates(const UpdateBatch& batch);
+
+ private:
+  struct GatherState;
+
+  void ExecuteShard(const std::shared_ptr<GatherState>& state, size_t shard);
+  void Gather(GatherState* state);
+  /// Cache-assisted SO(U_s, f) on one shard's frozen snapshot.
+  double ShardServiceValue(const ShardState& shard,
+                           const FacilityCatalog& catalog, FacilityId f,
+                           QueryStats* stats, bool* cache_hit);
+  void Publish(ShardedSnapshotPtr snap, uint64_t shards_republished);
+
+  ShardedEngineOptions options_;
+  MetricsRegistry metrics_;
+  ResultCache cache_;
+  ShardRouter router_;
+
+  mutable std::mutex snapshot_mu_;  // guards snapshot_ pointer swap only
+  ShardedSnapshotPtr snapshot_;
+
+  std::mutex writer_mu_;  // serializes ApplyUpdates
+  mutable std::mutex registry_mu_;  // guards users_ global-id registry
+  std::vector<UserLocation> users_;  // global id -> (shard, local id)
+
+  ThreadPool pool_;  // last member: joins before the rest is torn down
+};
+
+}  // namespace tq::runtime
+
+#endif  // TQCOVER_RUNTIME_SHARDED_ENGINE_H_

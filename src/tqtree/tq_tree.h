@@ -74,9 +74,11 @@ class TQTree {
   ZPruneMode prune_mode() const { return prune_mode_; }
 
   /// True when every stored unit is a two-point unit (segments, or whole
-  /// trajectories of a source-destination dataset). Then any unit fully
-  /// served by a facility lies inside its EMBR, so inter-node lists of
-  /// ContainingNode's ancestors can never contribute and top-k may skip them.
+  /// trajectories of a source-destination dataset). Then a unit's stored MBR
+  /// is exactly its endpoint MBR, so a unit with both endpoints inside a
+  /// facility's EMBR lies wholly inside it — combined with kStartEnd pruning
+  /// (no partial credit), top-k may skip the inter-node lists of
+  /// ContainingNode's ancestors (see TopKFacilitiesTQ).
   bool two_point_units() const {
     return options_.mode == TrajMode::kSegmented || max_points_ <= 2;
   }

@@ -241,6 +241,49 @@ TEST(TopK, AncestorStoredPartialServiceIsCounted) {
   EXPECT_DOUBLE_EQ(eval.Evaluate(0, catalog.grid(0)), 0.5);
 }
 
+TEST(TopK, AncestorStoredMultipointEndpointServiceIsCounted) {
+  // Regression: under the ENDPOINTS model a whole multipoint trajectory is
+  // stored by its full MBR, which its middle points can inflate far beyond
+  // the served endpoints. Source and destination both sit next to the
+  // facility (full service of 1.0), but the detour through (8000,8000)
+  // spans the root split, parking the unit in an ancestor inter-node list.
+  // kStartEnd pruning alone must NOT make best-first skip ancestors here.
+  TrajectorySet users;
+  const Point detour[] = {{1950, 2000}, {8000, 8000}, {2050, 2000}};
+  users.Add(detour);
+  Rng rng(619);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextUniform(0, 4000);
+    const double y = rng.NextUniform(0, 4000);
+    const Point t[] = {{x, y}, {x + 30, y + 30}, {x + 60, y}};
+    users.Add(t);
+  }
+  const Point far_a[] = {{0, 0}, {5, 5}, {10, 10}};
+  const Point far_b[] = {{9990, 9990}, {9995, 9995}, {10000, 10000}};
+  users.Add(far_a);
+  users.Add(far_b);
+
+  TrajectorySet facs;
+  const Point near_both_ends[] = {{1900, 2000}, {2100, 2000}};
+  facs.Add(near_both_ends);
+
+  const ServiceModel model = ServiceModel::Endpoints(150.0);
+  TQTreeOptions opt;
+  opt.beta = 8;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  ASSERT_FALSE(tree.two_point_units());
+  const ServiceEvaluator eval(&users, model);
+  const FacilityCatalog catalog(&facs, model.psi);
+
+  const TopKResult bf = TopKFacilitiesTQ(&tree, catalog, eval, 1);
+  const double oracle = testing::BruteForceSO(users, facs.points(0), model);
+  ASSERT_EQ(bf.ranked.size(), 1u);
+  EXPECT_NEAR(bf.ranked[0].value, oracle, 1e-9);
+  // The detour trajectory itself is fully served despite its huge MBR.
+  EXPECT_DOUBLE_EQ(eval.Evaluate(0, catalog.grid(0)), 1.0);
+}
+
 TEST(TopK, TieBreakingByIdMatchesExhaustive) {
   // Regression for ranking nondeterminism: a catalog engineered so several
   // facilities have EXACTLY equal service values (duplicated stop

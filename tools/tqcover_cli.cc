@@ -11,6 +11,7 @@
 //   tqcover_cli topk ... --load-index trips.tqt   # reuse it
 //   tqcover_cli serve    --users trips.bin --facilities routes.bin
 //                        --threads 4 --queries 2000   # concurrent runtime
+//   tqcover_cli serve    ... --shards 8   # scatter/gather over 8 TQ-trees
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +26,7 @@
 #include "query/baseline.h"
 #include "query/topk.h"
 #include "runtime/engine.h"
+#include "runtime/sharded_engine.h"
 #include "tqtree/serialize.h"
 #include "traj/io.h"
 #include "traj/stats.h"
@@ -65,7 +67,7 @@ int Usage() {
       "           [--save-index FILE] [--load-index FILE]\n"
       "  cover    --users FILE --facilities FILE [--k 8] [--psi 200]\n"
       "           [--scenario ...] [--solver greedy|genetic|baseline]\n"
-      "  serve    --users FILE --facilities FILE [--threads 4]\n"
+      "  serve    --users FILE --facilities FILE [--threads 4] [--shards 1]\n"
       "           [--queries 1000] [--topk-every 0] [--k 8] [--psi 200]\n"
       "           [--scenario ...] [--beta 64] [--cache 4096]\n"
       "           [--updates 0] [--update-size 64]\n"
@@ -241,44 +243,21 @@ int CmdCover(const Args& args) {
   return 0;
 }
 
-// Drives the concurrent runtime: a query stream (service values round-robin
-// over facilities, optionally interleaved with top-k), with optional update
-// batches published mid-stream, then a throughput + metrics report.
-int CmdServe(const Args& args) {
-  tq::TrajectorySet users, facilities;
-  Status st = LoadSet(args.Get("users"), &users);
-  if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (facilities.empty()) {
-    std::fprintf(stderr, "serve: facility set is empty\n");
-    return 1;
-  }
-  tq::runtime::EngineOptions options;
-  options.num_threads = std::max<size_t>(1, args.GetSize("threads", 4));
-  options.cache_capacity = args.GetSize("cache", 4096);
-  options.tree.beta = args.GetSize("beta", 64);
-  options.tree.model = ModelFromArgs(args);
+// The serve query/update loop, shared by the unsharded and sharded engines
+// (same Submit/ApplyUpdates/metrics protocol). `mirror` is a local copy of
+// the engine's user set: both engines assign global ids densely in insertion
+// order, so appending each churn batch keeps the mirror's ids aligned with
+// the engine's and gives the loop trajectory points to re-insert without
+// holding old snapshots alive.
+template <typename EngineT>
+int RunServeLoop(EngineT& engine, tq::TrajectorySet mirror,
+                 const Args& args) {
   const size_t num_queries = args.GetSize("queries", 1000);
   const size_t topk_every = args.GetSize("topk-every", 0);
   const size_t k = args.GetSize("k", 8);
   const size_t num_updates = args.GetSize("updates", 0);
   const size_t update_size = args.GetSize("update-size", 64);
-
-  const size_t num_users = users.size();
-  tq::Timer build_timer;
-  tq::runtime::Engine engine(std::move(users), std::move(facilities),
-                             options);
-  const double build_s = build_timer.ElapsedSeconds();
-  // Read the catalog size and drop the snapshot pointer: holding it for the
-  // whole run would pin version 1 (tree + user set) in memory across every
-  // update publish.
   const size_t num_facilities = engine.snapshot()->catalog->size();
-  std::printf("engine up: %zu users, %zu facilities, %zu threads "
-              "(built in %.3f s)\n",
-              num_users, num_facilities, options.num_threads, build_s);
 
   tq::Timer serve_timer;
   std::vector<std::future<tq::runtime::QueryResponse>> futures;
@@ -296,12 +275,14 @@ int CmdServe(const Args& args) {
     if (num_updates > 0 && q > 0 &&
         q % std::max<size_t>(1, num_queries / num_updates) == 0) {
       tq::runtime::UpdateBatch batch;
-      const auto cur = engine.snapshot();
-      for (size_t i = 0; i < update_size && i < cur->users->size(); ++i) {
-        const auto id = static_cast<uint32_t>((q + i) % cur->users->size());
-        const auto pts = cur->users->points(id);
+      for (size_t i = 0; i < update_size && i < mirror.size(); ++i) {
+        const auto id = static_cast<uint32_t>((q + i) % mirror.size());
+        const auto pts = mirror.points(id);
         batch.inserts.emplace_back(pts.begin(), pts.end());
         batch.removes.push_back(id);
+      }
+      for (const std::vector<tq::Point>& traj : batch.inserts) {
+        mirror.Add(traj);
       }
       engine.ApplyUpdates(batch);
     }
@@ -323,6 +304,63 @@ int CmdServe(const Args& args) {
               100.0 * m.CacheHitRate());
   std::printf("# metrics: %s\n", m.ToJson().c_str());
   return 0;
+}
+
+// Drives the concurrent runtime: a query stream (service values round-robin
+// over facilities, optionally interleaved with top-k), with optional update
+// batches published mid-stream, then a throughput + metrics report.
+// --shards N > 1 serves through the sharded scatter/gather engine.
+int CmdServe(const Args& args) {
+  tq::TrajectorySet users, facilities;
+  Status st = LoadSet(args.Get("users"), &users);
+  if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (facilities.empty()) {
+    std::fprintf(stderr, "serve: facility set is empty\n");
+    return 1;
+  }
+  const size_t num_threads = std::max<size_t>(1, args.GetSize("threads", 4));
+  const size_t cache_capacity = args.GetSize("cache", 4096);
+  const size_t num_shards = std::max<size_t>(1, args.GetSize("shards", 1));
+  tq::TQTreeOptions tree;
+  tree.beta = args.GetSize("beta", 64);
+  tree.model = ModelFromArgs(args);
+
+  const size_t num_users = users.size();
+  const size_t num_facilities = facilities.size();
+  // The churn mirror costs a full user-set copy — only pay it when update
+  // batches are actually requested (see RunServeLoop).
+  tq::TrajectorySet mirror;
+  if (args.GetSize("updates", 0) > 0) mirror = users;
+  tq::Timer build_timer;
+  if (num_shards > 1) {
+    tq::runtime::ShardedEngineOptions options;
+    options.num_shards = num_shards;
+    options.num_threads = num_threads;
+    options.cache_capacity = cache_capacity;
+    options.tree = tree;
+    tq::runtime::ShardedEngine engine(std::move(users),
+                                      std::move(facilities), options);
+    std::printf("sharded engine up: %zu users over %zu shards, "
+                "%zu facilities, %zu threads (built in %.3f s)\n",
+                num_users, engine.num_shards(), num_facilities, num_threads,
+                build_timer.ElapsedSeconds());
+    return RunServeLoop(engine, std::move(mirror), args);
+  }
+  tq::runtime::EngineOptions options;
+  options.num_threads = num_threads;
+  options.cache_capacity = cache_capacity;
+  options.tree = tree;
+  tq::runtime::Engine engine(std::move(users), std::move(facilities),
+                             options);
+  std::printf("engine up: %zu users, %zu facilities, %zu threads "
+              "(built in %.3f s)\n",
+              num_users, num_facilities, num_threads,
+              build_timer.ElapsedSeconds());
+  return RunServeLoop(engine, std::move(mirror), args);
 }
 
 }  // namespace

@@ -9,10 +9,17 @@
 //   * cached_qps — warm sharded LRU cache: the serving steady state where
 //                  popular facilities repeat.
 //
-// Besides the usual table + "# csv:" lines, emits two "# json:" lines
-// ("runtime_throughput" and "runtime_throughput_sharded") so the
-// BENCH_runtime.json trajectory can track queries/sec across PRs. Honors
-// REPRO_SCALE / REPRO_FULL (bench_util.h).
+// A third section measures the WRITE path: publishes/sec and p50/p99
+// publish latency of forked (path-copying) snapshot publishes at batch
+// sizes 1/16/256, plus nodes_copied per publish against the tree's total —
+// the number that proves a publish is O(batch × depth), not a full clone.
+//
+// Besides the usual table + "# csv:" lines, emits three "# json:" lines
+// ("runtime_throughput", "runtime_throughput_sharded" and
+// "runtime_write_path") so the BENCH_runtime.json trajectory can track
+// read QPS and write scaling across PRs. Honors REPRO_SCALE / REPRO_FULL
+// (bench_util.h).
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <thread>
@@ -184,6 +191,92 @@ int main() {
         i == 0 ? "" : ",", sharded_results[i].shards,
         sharded_results[i].threads, sharded_results[i].qps,
         sharded_results[i].cached_qps);
+  }
+  std::printf("]}\n");
+
+  // Write path: forked snapshot publishes at growing batch sizes. Each
+  // publish removes and re-inserts a block of trajectories (steady-state
+  // churn, both copy-on-write paths exercised). Segmented mode is the
+  // write-heavy configuration: per-segment units build the deep tree whose
+  // path copies the page store is designed around.
+  tq::bench::Banner("Write path — forked publishes, path-copy cost");
+  struct WriteResult {
+    size_t batch = 0;
+    size_t publishes = 0;
+    double publishes_per_sec = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    double nodes_copied_per_publish = 0.0;
+    double pages_shared_per_publish = 0.0;
+  };
+  tq::runtime::EngineOptions options;
+  options.num_threads = 2;
+  options.cache_capacity = 0;
+  options.tree.beta = env.DefaultBeta();
+  options.tree.mode = tq::TrajMode::kSegmented;
+  options.tree.model = model;
+  Engine engine(users, routes, options);
+  const size_t total_nodes = engine.snapshot()->tree->num_nodes();
+  std::printf("tree: %zu nodes over %zu pages (segmented)\n", total_nodes,
+              engine.snapshot()->tree->num_pages());
+  tq::bench::PrintSeriesHeader(
+      {"pub/s", "p50_ms", "p99_ms", "nodes_cp"});
+  std::vector<WriteResult> write_results;
+  size_t cursor = 0;
+  for (const size_t batch_size : {1u, 16u, 256u}) {
+    WriteResult r;
+    r.batch = batch_size;
+    r.publishes = batch_size >= 256 ? 8 : 32;
+    std::vector<double> lat_ms;
+    lat_ms.reserve(r.publishes);
+    const tq::runtime::MetricsView m0 = engine.metrics().Read();
+    tq::Timer total_timer;
+    for (size_t p = 0; p < r.publishes; ++p) {
+      tq::runtime::UpdateBatch batch;
+      const auto snap = engine.snapshot();
+      for (size_t i = 0; i < batch_size; ++i) {
+        const auto id = static_cast<uint32_t>(cursor++ % users.size());
+        const auto pts = snap->users->points(id);
+        batch.inserts.emplace_back(pts.begin(), pts.end());
+        batch.removes.push_back(id);
+      }
+      tq::Timer publish_timer;
+      engine.ApplyUpdates(batch);
+      lat_ms.push_back(publish_timer.ElapsedSeconds() * 1e3);
+    }
+    const double total_s = total_timer.ElapsedSeconds();
+    const tq::runtime::MetricsView m1 = engine.metrics().Read();
+    std::sort(lat_ms.begin(), lat_ms.end());
+    r.publishes_per_sec = static_cast<double>(r.publishes) / total_s;
+    r.p50_ms = lat_ms[lat_ms.size() / 2];
+    r.p99_ms = lat_ms[std::min(lat_ms.size() - 1, lat_ms.size() * 99 / 100)];
+    r.nodes_copied_per_publish =
+        static_cast<double>(m1.nodes_copied - m0.nodes_copied) /
+        static_cast<double>(r.publishes);
+    r.pages_shared_per_publish =
+        static_cast<double>(m1.pages_shared - m0.pages_shared) /
+        static_cast<double>(r.publishes);
+    write_results.push_back(r);
+    char label[32];
+    std::snprintf(label, sizeof(label), "batch=%zu", batch_size);
+    tq::bench::PrintTimeRow(label,
+                            {"pub/s", "p50_ms", "p99_ms", "nodes_cp"},
+                            {r.publishes_per_sec, r.p50_ms, r.p99_ms,
+                             r.nodes_copied_per_publish});
+  }
+
+  std::printf("# json: {\"bench\":\"runtime_write_path\",\"preset\":\"nyf\","
+              "\"users\":%zu,\"total_nodes\":%zu,\"results\":[",
+              users.size(), total_nodes);
+  for (size_t i = 0; i < write_results.size(); ++i) {
+    const WriteResult& r = write_results[i];
+    std::printf(
+        "%s{\"batch\":%zu,\"publishes\":%zu,\"publishes_per_sec\":%.1f,"
+        "\"p50_ms\":%.3f,\"p99_ms\":%.3f,\"nodes_copied_per_publish\":%.1f,"
+        "\"pages_shared_per_publish\":%.1f}",
+        i == 0 ? "" : ",", r.batch, r.publishes, r.publishes_per_sec,
+        r.p50_ms, r.p99_ms, r.nodes_copied_per_publish,
+        r.pages_shared_per_publish);
   }
   std::printf("]}\n");
   return 0;

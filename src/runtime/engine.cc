@@ -1,10 +1,10 @@
 #include "runtime/engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
 #include "query/eval_service.h"
-#include "tqtree/serialize.h"
 
 namespace tq::runtime {
 
@@ -68,11 +68,24 @@ QueryResponse Engine::Execute(const QueryRequest& request) {
   metrics_.AddQuery(request.kind == QueryKind::kTopK);
 
   if (request.kind == QueryKind::kTopK) {
+    // Gathered top-k answers are memoised by (k, ψ, snapshot version) —
+    // the unsharded engine's "generation vector" is just the version.
+    const ResultCache::TopKKey key{
+        request.k, PsiBits(snap->catalog->psi()), {snap->version}};
+    if (cache_.GetTopK(key, &response.ranked)) {
+      response.cache_hit = true;
+      metrics_.AddCacheHit();
+      return response;
+    }
     TopKResult top =
         TopKFacilitiesTQ(snap->tree.get(), *snap->catalog, *snap->eval,
                          request.k);
     response.ranked = std::move(top.ranked);
     response.stats = top.stats;
+    if (cache_.enabled()) {
+      metrics_.AddCacheMiss();
+      metrics_.AddCacheEvictions(cache_.PutTopK(key, response.ranked));
+    }
     metrics_.RecordQueryStats(response.stats);
     return response;
   }
@@ -104,6 +117,7 @@ QueryResponse Engine::Execute(const QueryRequest& request) {
 
 std::vector<uint32_t> Engine::ApplyUpdates(const UpdateBatch& batch) {
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const auto publish_start = std::chrono::steady_clock::now();
   const SnapshotPtr cur = snapshot();
 
   // Copy-on-write: the published user set is immutable, so appends go to a
@@ -115,16 +129,19 @@ std::vector<uint32_t> Engine::ApplyUpdates(const UpdateBatch& batch) {
     new_ids.push_back(users->Add(traj));
   }
 
-  // Copy-on-write at the tree root: clone against the extended user set,
-  // then apply this batch's deltas to the private clone.
-  std::shared_ptr<TQTree> tree = CloneTQTree(*cur->tree, users.get());
+  // Persistent path copy: the fork shares every node page (and built
+  // z-index) with the published tree; applying this batch's deltas copies
+  // only the pages the touched root-to-leaf paths live in, so publish cost
+  // is O(batch × depth), not O(tree).
+  std::shared_ptr<TQTree> tree = cur->tree->Fork(users.get());
   for (const uint32_t id : new_ids) tree->Insert(id);
   uint64_t removed = 0;
   for (const uint32_t id : batch.removes) {
     if (tree->Remove(id)) ++removed;
   }
-  tree->BuildAllZIndexes();  // freeze before publication
+  tree->BuildAllZIndexes();  // freeze: rebuilds only the dirtied z-indexes
 
+  const CowStats cow = tree->cow_stats();
   auto snap = std::make_shared<Snapshot>();
   snap->version = cur->version + 1;
   snap->users = users;
@@ -138,6 +155,10 @@ std::vector<uint32_t> Engine::ApplyUpdates(const UpdateBatch& batch) {
   metrics_.AddInserted(new_ids.size());
   metrics_.AddRemoved(removed);
   metrics_.AddCacheInvalidated(cache_.InvalidateBefore(cur->version + 1));
+  const auto publish_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - publish_start);
+  metrics_.AddPublishCost(cow.nodes_copied, cow.pages_shared(),
+                          static_cast<uint64_t>(publish_ns.count()));
   return new_ids;
 }
 

@@ -11,15 +11,16 @@
 //     publication (TQTree rebuilds them lazily inside queries otherwise,
 //     which would race), and Insert/Remove are never called on it again.
 //   * Writers (ApplyUpdates) never block readers: they copy the user set,
-//     clone the tree via CloneTQTree (copy-on-write at the tree root,
-//     tqtree/serialize.cc), apply trajectory inserts/removes to the clone,
-//     freeze it, and publish it as version N+1. In-flight queries keep their
-//     old snapshot alive through the shared_ptr until they finish.
+//     fork the tree (TQTree::Fork — persistent path-copying node pages
+//     shared with the published snapshot, tqtree/tq_tree.h), apply
+//     trajectory inserts/removes to the fork (copying only the pages the
+//     touched paths live in), freeze it, and publish it as version N+1.
+//     In-flight queries keep their old snapshot alive through the
+//     shared_ptr until they finish; shared pages make that retention cheap.
 //   * Service values are memoised in a sharded LRU ResultCache keyed by
-//     (facility, ψ, snapshot version); publication invalidates superseded
-//     versions. Best-first top-k runs uncached (its per-facility pruning
-//     state is query-specific), but its heap/relax work is counted in the
-//     MetricsRegistry alongside everything else.
+//     (facility, ψ, snapshot version), and gathered top-k answers in its
+//     top-k section keyed by (k, ψ, snapshot version); publication
+//     invalidates superseded versions of both.
 #ifndef TQCOVER_RUNTIME_ENGINE_H_
 #define TQCOVER_RUNTIME_ENGINE_H_
 

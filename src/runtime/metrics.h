@@ -36,6 +36,14 @@ struct MetricsView {
   uint64_t shard_publishes = 0;
   uint64_t trajectories_inserted = 0;
   uint64_t trajectories_removed = 0;
+  /// Write-path copy-on-write accounting (persistent path-copying
+  /// snapshots): nodes physically duplicated by forked publishes, node
+  /// pages still shared with the previous snapshot at publish time, and
+  /// total wall time spent inside ApplyUpdates (fork + deltas + freeze +
+  /// swap), in nanoseconds. All 0 until the first post-construction publish.
+  uint64_t nodes_copied = 0;
+  uint64_t pages_shared = 0;
+  uint64_t publish_ns = 0;
   uint64_t nodes_visited = 0;
   uint64_t entries_scanned = 0;
   uint64_t exact_checks = 0;
@@ -70,6 +78,9 @@ struct MetricsView {
     field("shard_publishes", shard_publishes);
     field("trajectories_inserted", trajectories_inserted);
     field("trajectories_removed", trajectories_removed);
+    field("nodes_copied", nodes_copied);
+    field("pages_shared", pages_shared);
+    field("publish_ns", publish_ns);
     field("nodes_visited", nodes_visited);
     field("entries_scanned", entries_scanned);
     field("exact_checks", exact_checks);
@@ -117,6 +128,13 @@ class MetricsRegistry {
   void AddRemoved(uint64_t n) {
     if (n) trajectories_removed_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// Folds one forked publish's copy-on-write cost into the registry.
+  void AddPublishCost(uint64_t nodes_copied, uint64_t pages_shared,
+                      uint64_t ns) {
+    nodes_copied_.fetch_add(nodes_copied, std::memory_order_relaxed);
+    pages_shared_.fetch_add(pages_shared, std::memory_order_relaxed);
+    publish_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
 
   /// Folds one query's traversal counters into the registry.
   void RecordQueryStats(const QueryStats& s) {
@@ -143,6 +161,9 @@ class MetricsRegistry {
         trajectories_inserted_.load(std::memory_order_relaxed);
     v.trajectories_removed =
         trajectories_removed_.load(std::memory_order_relaxed);
+    v.nodes_copied = nodes_copied_.load(std::memory_order_relaxed);
+    v.pages_shared = pages_shared_.load(std::memory_order_relaxed);
+    v.publish_ns = publish_ns_.load(std::memory_order_relaxed);
     v.nodes_visited = nodes_visited_.load(std::memory_order_relaxed);
     v.entries_scanned = entries_scanned_.load(std::memory_order_relaxed);
     v.exact_checks = exact_checks_.load(std::memory_order_relaxed);
@@ -163,6 +184,9 @@ class MetricsRegistry {
   std::atomic<uint64_t> shard_publishes_{0};
   std::atomic<uint64_t> trajectories_inserted_{0};
   std::atomic<uint64_t> trajectories_removed_{0};
+  std::atomic<uint64_t> nodes_copied_{0};
+  std::atomic<uint64_t> pages_shared_{0};
+  std::atomic<uint64_t> publish_ns_{0};
   std::atomic<uint64_t> nodes_visited_{0};
   std::atomic<uint64_t> entries_scanned_{0};
   std::atomic<uint64_t> exact_checks_{0};

@@ -8,6 +8,10 @@ ResultCache::ResultCache(size_t capacity, size_t num_shards) {
   const size_t n = std::max<size_t>(1, num_shards);
   // Round the per-shard budget up so the total is never below `capacity`.
   per_shard_capacity_ = capacity == 0 ? 0 : (capacity + n - 1) / n;
+  // A small top-k section ON TOP of `capacity` (see header) memoises
+  // gathered answers; they are few but each one saves a full per-shard
+  // catalog sweep.
+  topk_capacity_ = capacity == 0 ? 0 : std::max<size_t>(8, capacity / 64);
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
 }
@@ -41,6 +45,35 @@ size_t ResultCache::Put(const Key& key, double value) {
   return 1;
 }
 
+bool ResultCache::GetTopK(const TopKKey& key,
+                          std::vector<RankedFacility>* ranked) {
+  if (topk_capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(topk_mu_);
+  const auto it = topk_index_.find(key);
+  if (it == topk_index_.end()) return false;
+  topk_lru_.splice(topk_lru_.begin(), topk_lru_, it->second);
+  *ranked = it->second->ranked;
+  return true;
+}
+
+size_t ResultCache::PutTopK(const TopKKey& key,
+                            std::vector<RankedFacility> ranked) {
+  if (topk_capacity_ == 0) return 0;
+  std::lock_guard<std::mutex> lock(topk_mu_);
+  const auto it = topk_index_.find(key);
+  if (it != topk_index_.end()) {
+    it->second->ranked = std::move(ranked);
+    topk_lru_.splice(topk_lru_.begin(), topk_lru_, it->second);
+    return 0;
+  }
+  topk_lru_.push_front(TopKEntry{key, std::move(ranked)});
+  topk_index_.emplace(key, topk_lru_.begin());
+  if (topk_lru_.size() <= topk_capacity_) return 0;
+  topk_index_.erase(topk_lru_.back().key);
+  topk_lru_.pop_back();
+  return 1;
+}
+
 size_t ResultCache::InvalidateBefore(uint64_t version) {
   size_t dropped = 0;
   for (const auto& shard : shards_) {
@@ -55,6 +88,16 @@ size_t ResultCache::InvalidateBefore(uint64_t version) {
       }
     }
   }
+  // Top-k answers of superseded snapshots: every generation component is the
+  // snapshot version on the unsharded engine; on the sharded engine a
+  // version bump republished at least one shard, so a vector with any
+  // stale component can never hit again and is safe to drop.
+  dropped += EraseStaleTopK([version](const TopKKey& key) {
+    for (const uint64_t g : key.gens) {
+      if (g < version) return true;
+    }
+    return false;
+  });
   return dropped;
 }
 
@@ -81,6 +124,16 @@ size_t ResultCache::InvalidateShardsBefore(
       }
     }
   }
+  // Per-shard top-k invalidation: a gathered answer dies exactly when one
+  // of the republished shards contributed an older generation to its key.
+  dropped += EraseStaleTopK([&shards, generation](const TopKKey& key) {
+    for (const uint32_t shard : shards) {
+      if (shard < key.gens.size() && key.gens[shard] < generation) {
+        return true;
+      }
+    }
+    return false;
+  });
   return dropped;
 }
 
@@ -90,6 +143,8 @@ size_t ResultCache::size() const {
     std::lock_guard<std::mutex> lock(shard->mu);
     total += shard->lru.size();
   }
+  std::lock_guard<std::mutex> lock(topk_mu_);
+  total += topk_lru_.size();
   return total;
 }
 

@@ -15,6 +15,13 @@
 // shard's entries (InvalidateShardBefore) and the other shards keep hitting.
 // The unsharded engine leaves the field at 0.
 //
+// A second, smaller section memoises gathered TOP-K answers keyed by
+// (k, ψ, per-shard generation vector): a ranked list is a pure function of
+// every shard's user set, so the key carries the whole generation vector
+// and a single-shard republish invalidates exactly the lists that shard
+// contributed to (the unsharded engine uses a one-element vector holding
+// its snapshot version).
+//
 // Sharding: key-hash partitioning into independently locked shards keeps the
 // cache off the critical path — worker threads contend only when they hash
 // to the same shard.
@@ -29,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "query/topk.h"
 #include "traj/trajectory.h"
 
 namespace tq::runtime {
@@ -61,7 +69,23 @@ class ResultCache {
     }
   };
 
-  /// `capacity` is the total entry budget across all shards.
+  /// Key of one memoised gathered top-k answer. `gens` holds every data
+  /// shard's publish generation at computation time (one element — the
+  /// snapshot version — for the unsharded engine); equality is exact, so a
+  /// hit can never mix shard states.
+  struct TopKKey {
+    size_t k = 0;
+    uint64_t psi_bits = 0;
+    std::vector<uint64_t> gens;
+
+    bool operator==(const TopKKey& o) const {
+      return k == o.k && psi_bits == o.psi_bits && gens == o.gens;
+    }
+  };
+
+  /// `capacity` is the total per-facility entry budget across all shards.
+  /// The top-k section adds max(8, capacity / 64) entries on top of it
+  /// (0 disables both sections).
   explicit ResultCache(size_t capacity, size_t num_shards = 8);
 
   bool enabled() const { return per_shard_capacity_ > 0; }
@@ -85,12 +109,20 @@ class ResultCache {
 
   /// Same, for all of `shards` in one pass over the cache — a write batch
   /// republishing several data shards at one generation invalidates them
-  /// with a single scan instead of one per shard.
+  /// with a single scan instead of one per shard. Both passes also drop
+  /// top-k entries whose generation vector is stale for an affected shard.
   size_t InvalidateShardsBefore(const std::vector<uint32_t>& shards,
                                 uint64_t generation);
 
-  /// Current number of cached entries (sums shard sizes; approximate under
-  /// concurrent mutation).
+  /// True and fills `*ranked` on a memoised top-k answer for exactly this
+  /// (k, ψ, generation vector); refreshes the entry's LRU position.
+  bool GetTopK(const TopKKey& key, std::vector<RankedFacility>* ranked);
+
+  /// Memoises one gathered top-k answer. Returns entries evicted (0 or 1).
+  size_t PutTopK(const TopKKey& key, std::vector<RankedFacility> ranked);
+
+  /// Current number of cached entries (sums shard sizes plus top-k entries;
+  /// approximate under concurrent mutation).
   size_t size() const;
 
  private:
@@ -98,19 +130,23 @@ class ResultCache {
     Key key;
     double value = 0.0;
   };
+  /// splitmix64 finalizer, shared by both key hashers.
+  static uint64_t Mix64(uint64_t h) {
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    return h;
+  }
   struct KeyHash {
     size_t operator()(const Key& k) const {
-      // 64-bit mix of the four components (splitmix64 finalizer).
-      uint64_t h = k.psi_bits ^ (k.snapshot_version * 0x9e3779b97f4a7c15ull) ^
-                   (static_cast<uint64_t>(k.facility) << 32) ^
-                   (static_cast<uint64_t>(k.shard) *
-                    0xd1342543de82ef95ull);
-      h ^= h >> 30;
-      h *= 0xbf58476d1ce4e5b9ull;
-      h ^= h >> 27;
-      h *= 0x94d049bb133111ebull;
-      h ^= h >> 31;
-      return static_cast<size_t>(h);
+      // 64-bit mix of the four components.
+      const uint64_t h =
+          k.psi_bits ^ (k.snapshot_version * 0x9e3779b97f4a7c15ull) ^
+          (static_cast<uint64_t>(k.facility) << 32) ^
+          (static_cast<uint64_t>(k.shard) * 0xd1342543de82ef95ull);
+      return static_cast<size_t>(Mix64(h));
     }
   };
   struct Shard {
@@ -123,8 +159,49 @@ class ResultCache {
     return *shards_[KeyHash{}(key) % shards_.size()];
   }
 
+  struct TopKEntry {
+    TopKKey key;
+    std::vector<RankedFacility> ranked;
+  };
+  struct TopKKeyHash {
+    size_t operator()(const TopKKey& k) const {
+      uint64_t h = k.psi_bits ^ (static_cast<uint64_t>(k.k) << 48);
+      for (const uint64_t g : k.gens) {
+        h ^= g + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      }
+      return static_cast<size_t>(Mix64(h));
+    }
+  };
+
+  /// Drops every top-k entry whose key `pred` deems stale; returns the
+  /// number dropped. Shared by both invalidation passes.
+  template <typename Pred>
+  size_t EraseStaleTopK(Pred&& pred) {
+    size_t dropped = 0;
+    std::lock_guard<std::mutex> lock(topk_mu_);
+    for (auto it = topk_lru_.begin(); it != topk_lru_.end();) {
+      if (pred(it->key)) {
+        topk_index_.erase(it->key);
+        it = topk_lru_.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
   size_t per_shard_capacity_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Top-k section: answers are few (one per (k, ψ) in steady state) and
+  // each is worth a full catalog scan per data shard, so a small single-
+  // mutex LRU off the per-facility fast path is enough.
+  size_t topk_capacity_ = 0;
+  mutable std::mutex topk_mu_;
+  std::list<TopKEntry> topk_lru_;  // front = most recently used
+  std::unordered_map<TopKKey, std::list<TopKEntry>::iterator, TopKKeyHash>
+      topk_index_;
 };
 
 }  // namespace tq::runtime

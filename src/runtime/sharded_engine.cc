@@ -2,11 +2,28 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
 #include "query/eval_service.h"
-#include "tqtree/serialize.h"
+
+namespace {
+
+/// The top-k cache key of a sharded snapshot: every shard's generation, in
+/// shard order. Exact vector equality means a hit can never mix two shard
+/// states.
+tq::runtime::ResultCache::TopKKey TopKKeyFor(
+    const tq::runtime::ShardedSnapshot& snap, size_t k) {
+  tq::runtime::ResultCache::TopKKey key;
+  key.k = k;
+  key.psi_bits = tq::runtime::PsiBits(snap.catalog->psi());
+  key.gens.reserve(snap.shards.size());
+  for (const auto& shard : snap.shards) key.gens.push_back(shard->generation);
+  return key;
+}
+
+}  // namespace
 
 namespace tq::runtime {
 
@@ -116,6 +133,22 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
         std::to_string(state->snap->catalog->size()) + ")");
     state->promise.set_value(std::move(response));
     return future;
+  }
+
+  // A memoised gathered top-k answer for this exact generation vector
+  // short-circuits the whole scatter (per-shard invalidation: only a
+  // republish of a contributing shard can stale it).
+  if (request.kind == QueryKind::kTopK) {
+    QueryResponse response;
+    response.kind = request.kind;
+    response.snapshot_version = state->snap->version;
+    if (cache_.GetTopK(TopKKeyFor(*state->snap, request.k),
+                       &response.ranked)) {
+      response.cache_hit = true;
+      metrics_.AddCacheHit();
+      state->promise.set_value(std::move(response));
+      return future;
+    }
   }
 
   const size_t n = state->snap->shards.size();
@@ -231,6 +264,11 @@ void ShardedEngine::Gather(GatherState* state) {
                       all.end(), RankedBefore);
     all.resize(k);
     response.ranked = std::move(all);
+    if (cache_.enabled()) {
+      metrics_.AddCacheMiss();
+      metrics_.AddCacheEvictions(cache_.PutTopK(
+          TopKKeyFor(snap, state->request.k), response.ranked));
+    }
   }
   metrics_.RecordQueryStats(total);
   state->promise.set_value(std::move(response));
@@ -238,6 +276,7 @@ void ShardedEngine::Gather(GatherState* state) {
 
 std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const auto publish_start = std::chrono::steady_clock::now();
   const ShardedSnapshotPtr cur = snapshot();
   const size_t n = cur->shards.size();
 
@@ -279,6 +318,8 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
   next->catalog = cur->catalog;
   next->shards = cur->shards;
   uint64_t removed = 0;
+  uint64_t nodes_copied = 0;
+  uint64_t pages_shared = 0;
   std::vector<uint32_t> touched_shards;
   for (size_t s = 0; s < n; ++s) {
     if (shard_inserts[s].empty() && shard_removes[s].empty()) continue;
@@ -289,12 +330,16 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
     for (const uint32_t i : shard_inserts[s]) {
       locals.push_back(users->Add(batch.inserts[i]));
     }
-    std::shared_ptr<TQTree> tree = CloneTQTree(*old.tree, users.get());
+    // Persistent path copy: the forked shard tree shares untouched node
+    // pages (and their z-indexes) with the published shard state.
+    std::shared_ptr<TQTree> tree = old.tree->Fork(users.get());
     for (const uint32_t local : locals) tree->Insert(local);
     for (const uint32_t local : shard_removes[s]) {
       if (tree->Remove(local)) ++removed;
     }
-    tree->BuildAllZIndexes();  // freeze before publication
+    tree->BuildAllZIndexes();  // freeze: rebuilds only dirtied z-indexes
+    nodes_copied += tree->cow_stats().nodes_copied;
+    pages_shared += tree->cow_stats().pages_shared();
 
     auto state = std::make_shared<ShardState>();
     state->shard = static_cast<uint32_t>(s);
@@ -314,6 +359,10 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
   metrics_.AddInserted(new_ids.size());
   metrics_.AddRemoved(removed);
   metrics_.AddCacheInvalidated(invalidated);
+  const auto publish_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now() - publish_start);
+  metrics_.AddPublishCost(nodes_copied, pages_shared,
+                          static_cast<uint64_t>(publish_ns.count()));
   return new_ids;
 }
 

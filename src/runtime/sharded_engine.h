@@ -12,11 +12,16 @@
 //     value vectors into one ranked top-k list with the library's
 //     (value desc, facility id asc) tie-break. No pool thread ever blocks
 //     waiting on another task, so a pool of any size cannot deadlock.
-//   * Writers are incremental: a trajectory insert/remove batch is routed
-//     per shard, and only the AFFECTED shards are cloned (CloneTQTree) and
-//     republished. Untouched shards keep their snapshot, generation, and —
-//     because cache keys carry (shard, shard generation) — their warm
-//     result-cache entries.
+//   * Writers are incremental twice over: a trajectory insert/remove batch
+//     is routed per shard, and only the AFFECTED shards are forked
+//     (TQTree::Fork) and republished — and each fork path-copies only the
+//     node pages the batch's root-to-leaf paths touch, sharing the rest
+//     (z-indexes included) with the previous shard state. Untouched shards
+//     keep their snapshot, generation, and — because cache keys carry
+//     (shard, shard generation) — their warm result-cache entries. Gathered
+//     top-k answers are memoised under the full per-shard generation
+//     vector, so they too survive writes to shards and die exactly when a
+//     contributing shard republishes.
 //   * Correctness of the merge: service is additive over a disjoint user
 //     partition, SO(U, f) = Σ_s SO(U_s, f). Whole trajectories (and, in
 //     segmented mode, all segments of a trajectory) stay within one shard,

@@ -2,6 +2,7 @@
 #ifndef TQCOVER_TQTREE_NODE_H_
 #define TQCOVER_TQTREE_NODE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -18,9 +19,15 @@ namespace tq {
 /// least two immediate children). `sub` is the paper's per-node upper bound
 /// on the total service value of everything stored in the subtree rooted
 /// here (including this node's own list).
+///
+/// Copyable: the persistent page store (tq_tree.h) duplicates whole nodes
+/// when a shared page is first written. The z-index is an immutable shared
+/// object so a copied-but-unmodified node keeps the already-built index
+/// instead of rebuilding it — that sharing is what makes forked snapshots
+/// cheap.
 struct TQNode {
   Rect rect;
-  int32_t first_child = -1;  // children contiguous in the node array
+  int32_t first_child = -1;  // children contiguous in the node id space
   int16_t depth = 0;
 
   /// UL(E): the node's trajectory (unit) list.
@@ -34,8 +41,9 @@ struct TQNode {
   ServiceAggregates local_agg;
   ServiceAggregates sub_agg;
 
-  /// Z-order bucket index over `entries` (TQ(Z) only); rebuilt when dirty.
-  std::unique_ptr<ZIndex> zindex;
+  /// Z-order bucket index over `entries` (TQ(Z) only); immutable once built,
+  /// shared across page copies and forked trees; rebuilt when dirty.
+  std::shared_ptr<const ZIndex> zindex;
   bool zindex_dirty = true;
 
   /// Entry count at which the last split attempt found nothing movable;
@@ -43,6 +51,27 @@ struct TQNode {
   uint32_t split_failed_at = 0;
 
   bool IsLeaf() const { return first_child < 0; }
+};
+
+/// Nodes per page of the persistent node store: 1 << kPageShift. Small pages
+/// keep the copy amplification of a root-to-leaf path copy low (a write
+/// batch duplicates only the pages its paths touch; every node sharing a
+/// page with a touched node rides along), while the page table stays a
+/// dense vector of num_nodes / kPageSize shared_ptrs.
+inline constexpr int kNodePageShift = 3;
+inline constexpr size_t kNodePageSize = size_t{1} << kNodePageShift;
+inline constexpr size_t kNodePageMask = kNodePageSize - 1;
+
+/// One reference-counted page of TQNodes. `epoch` tags the tree instance
+/// that may write the page in place: a fork re-tags both trees, so each
+/// side copies a shared page on first write (see TQTree::MutableNode).
+struct NodePage {
+  uint64_t epoch = 0;
+  std::array<TQNode, kNodePageSize> nodes;
+
+  NodePage() = default;
+  NodePage(const NodePage& other, uint64_t new_epoch)
+      : epoch(new_epoch), nodes(other.nodes) {}
 };
 
 }  // namespace tq

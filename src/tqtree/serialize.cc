@@ -61,8 +61,9 @@ class TQTreeSerializer {
     WritePod(os, static_cast<uint8_t>(opt.basic_entry_mbr_precheck));
     WriteRect(os, tree.world_);
     WritePod(os, static_cast<uint64_t>(tree.users_->size()));
-    WritePod(os, static_cast<uint64_t>(tree.nodes_.size()));
-    for (const TQNode& n : tree.nodes_) {
+    WritePod(os, static_cast<uint64_t>(tree.num_nodes_));
+    for (size_t i = 0; i < tree.num_nodes_; ++i) {
+      const TQNode& n = tree.node(static_cast<int32_t>(i));
       WriteRect(os, n.rect);
       WritePod(os, n.first_child);
       WritePod(os, n.depth);
@@ -132,9 +133,11 @@ class TQTreeSerializer {
     auto tree = std::unique_ptr<TQTree>(
         new TQTree(users, opt, TQTree::DeserializeTag{}));
     tree->world_ = world;
-    tree->nodes_.resize(node_count);
+    // Freshly allocated pages all carry the tree's own epoch, so the
+    // MutableNode calls below never trigger copy-on-write.
+    tree->ResizeNodes(node_count);
     for (uint64_t i = 0; i < node_count; ++i) {
-      TQNode& n = tree->nodes_[i];
+      TQNode& n = tree->MutableNode(static_cast<int32_t>(i));
       uint32_t entry_count = 0;
       if (!ReadRect(is, &n.rect) || !ReadPod(is, &n.first_child) ||
           !ReadPod(is, &n.depth) || !ReadPod(is, &entry_count)) {
@@ -185,50 +188,18 @@ class TQTreeSerializer {
     // Recompute subtree aggregates bottom-up (children have larger indices
     // than their parent by construction order).
     for (auto i = static_cast<int64_t>(node_count) - 1; i >= 0; --i) {
-      TQNode& n = tree->nodes_[static_cast<size_t>(i)];
+      TQNode& n = tree->MutableNode(static_cast<int32_t>(i));
       n.sub = n.local_ub;
       n.sub_agg = n.local_agg;
       if (!n.IsLeaf()) {
         for (int q = 0; q < 4; ++q) {
-          const TQNode& c =
-              tree->nodes_[static_cast<size_t>(n.first_child + q)];
+          const TQNode& c = tree->node(n.first_child + q);
           n.sub += c.sub;
           n.sub_agg.Add(c.sub_agg);
         }
       }
     }
     if (opt.variant == IndexVariant::kZOrder) tree->BuildAllZIndexes();
-    return tree;
-  }
-
-  static std::unique_ptr<TQTree> Clone(const TQTree& src,
-                                       const TrajectorySet* users) {
-    TQ_CHECK(users != nullptr);
-    // Every entry references a trajectory id of the original set; a superset
-    // keeps them all valid (ids are stable — TrajectorySet is append-only).
-    TQ_CHECK(users->size() >= src.users_->size());
-    auto tree = std::unique_ptr<TQTree>(
-        new TQTree(users, src.options_, TQTree::DeserializeTag{}));
-    tree->world_ = src.world_;
-    tree->num_units_ = src.num_units_;
-    tree->nodes_.resize(src.nodes_.size());
-    for (size_t i = 0; i < src.nodes_.size(); ++i) {
-      const TQNode& from = src.nodes_[i];
-      TQNode& to = tree->nodes_[i];
-      to.rect = from.rect;
-      to.first_child = from.first_child;
-      to.depth = from.depth;
-      to.entries = from.entries;
-      to.local_ub = from.local_ub;
-      to.sub = from.sub;
-      to.local_agg = from.local_agg;
-      to.sub_agg = from.sub_agg;
-      to.split_failed_at = from.split_failed_at;
-      to.zindex_dirty = true;  // rebuilt below under the clone's prune mode
-    }
-    if (src.options_.variant == IndexVariant::kZOrder) {
-      tree->BuildAllZIndexes();
-    }
     return tree;
   }
 };
@@ -241,11 +212,6 @@ Result<std::unique_ptr<TQTree>> LoadTQTree(const std::string& path,
                                            const TrajectorySet* users) {
   TQ_CHECK(users != nullptr);
   return TQTreeSerializer::Load(path, users);
-}
-
-std::unique_ptr<TQTree> CloneTQTree(const TQTree& tree,
-                                    const TrajectorySet* users) {
-  return TQTreeSerializer::Clone(tree, users);
 }
 
 }  // namespace tq

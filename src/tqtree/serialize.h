@@ -31,17 +31,12 @@ Status SaveTQTree(const std::string& path, const TQTree& tree);
 /// set the tree was built over (checked by size; per-entry ids are bounds-
 /// checked). Z-indexes are rebuilt eagerly for kZOrder trees, mirroring the
 /// building constructor.
+///
+/// (The runtime's old snapshot-cloning primitive, CloneTQTree, is gone:
+/// writers now call TQTree::Fork(), which shares node pages with the parent
+/// snapshot instead of deep-copying the tree — see tqtree/tq_tree.h.)
 Result<std::unique_ptr<TQTree>> LoadTQTree(const std::string& path,
                                            const TrajectorySet* users);
-
-/// In-memory deep copy of `tree`, rebound to `users` — the snapshot-cloning
-/// primitive of the concurrent runtime (src/runtime/engine.h). `users` must
-/// contain every trajectory the tree indexes; it may hold MORE trailing
-/// trajectories than the original set, so a copy-on-write writer can append
-/// new trajectories and then Insert() them into the clone. Z-indexes are
-/// rebuilt eagerly (kZOrder trees), leaving the clone query-ready.
-std::unique_ptr<TQTree> CloneTQTree(const TQTree& tree,
-                                    const TrajectorySet* users);
 
 }  // namespace tq
 

@@ -1,12 +1,25 @@
 #include "tqtree/tq_tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 #include "common/check.h"
 #include "tqtree/aggregates.h"
 
 namespace tq {
+
+namespace {
+
+/// Globally unique page-ownership tags. A page is writable in place only by
+/// the tree whose epoch matches; Fork() hands BOTH trees fresh epochs so all
+/// previously created pages become copy-on-write for either side.
+uint64_t NewEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 ZPruneMode DerivePruneMode(TrajMode mode, const ServiceModel& model,
                            size_t max_points) {
@@ -27,7 +40,7 @@ ZPruneMode DerivePruneMode(TrajMode mode, const ServiceModel& model,
 
 TQTree::TQTree(const TrajectorySet* users, TQTreeOptions options,
                DeserializeTag)
-    : users_(users), options_(options) {
+    : users_(users), options_(options), epoch_(NewEpoch()) {
   TQ_CHECK(users != nullptr);
   for (uint32_t u = 0; u < users_->size(); ++u) {
     max_points_ = std::max(max_points_, users_->NumPoints(u));
@@ -36,7 +49,7 @@ TQTree::TQTree(const TrajectorySet* users, TQTreeOptions options,
 }
 
 TQTree::TQTree(const TrajectorySet* users, TQTreeOptions options)
-    : users_(users), options_(options) {
+    : users_(users), options_(options), epoch_(NewEpoch()) {
   TQ_CHECK(users != nullptr);
   TQ_CHECK(options_.beta > 0);
   TQ_CHECK(options_.max_depth >= 1 && options_.max_depth <= 32);
@@ -52,12 +65,93 @@ TQTree::TQTree(const TrajectorySet* users, TQTreeOptions options)
   }
   prune_mode_ = DerivePruneMode(options_.mode, options_.model, max_points_);
 
-  nodes_.push_back(TQNode{});
-  nodes_[0].rect = world_;
-  nodes_[0].depth = 0;
+  const int32_t root_id = AppendNode();
+  TQNode& root = MutableNode(root_id);
+  root.rect = world_;
+  root.depth = 0;
   BulkBuild();
   if (options_.variant == IndexVariant::kZOrder) BuildAllZIndexes();
 }
+
+// ---------------------------------------------------------- page storage
+
+void TQTree::CopyPage(size_t page_index) {
+  const std::shared_ptr<NodePage>& old = pages_[page_index];
+  pages_[page_index] = std::make_shared<NodePage>(*old, epoch_);
+  cow_stats_.pages_copied++;
+  // Count the live nodes physically duplicated (the last page may be
+  // partially filled).
+  const size_t first = page_index << kNodePageShift;
+  cow_stats_.nodes_copied +=
+      std::min(kNodePageSize, num_nodes_ - first);
+}
+
+int32_t TQTree::AppendNode() {
+  const size_t slot = num_nodes_ & kNodePageMask;
+  if (slot == 0) {
+    // Fresh page: owned by construction, no copy.
+    pages_.push_back(std::make_shared<NodePage>());
+    pages_.back()->epoch = epoch_;
+  } else if (pages_[num_nodes_ >> kNodePageShift]->epoch != epoch_) {
+    // Appending into a shared page (fork whose last page has free slots):
+    // copy it first so the parent never sees the new node.
+    CopyPage(num_nodes_ >> kNodePageShift);
+  }
+  const auto id = static_cast<int32_t>(num_nodes_);
+  ++num_nodes_;
+  pages_[static_cast<size_t>(id) >> kNodePageShift]
+      ->nodes[static_cast<size_t>(id) & kNodePageMask] = TQNode{};
+  return id;
+}
+
+void TQTree::ResizeNodes(size_t n) {
+  TQ_CHECK(pages_.empty() && num_nodes_ == 0);
+  const size_t num_pages = (n + kNodePageSize - 1) / kNodePageSize;
+  pages_.reserve(num_pages);
+  for (size_t p = 0; p < num_pages; ++p) {
+    pages_.push_back(std::make_shared<NodePage>());
+    pages_.back()->epoch = epoch_;
+  }
+  num_nodes_ = n;
+}
+
+void TQTree::MarkAllZIndexesDirty() {
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    TQNode& n = MutableNode(static_cast<int32_t>(i));
+    n.zindex.reset();
+    n.zindex_dirty = true;
+  }
+}
+
+std::unique_ptr<TQTree> TQTree::Fork(const TrajectorySet* users) {
+  TQ_CHECK(users != nullptr);
+  // Every entry references a trajectory id of the original set; a superset
+  // keeps them all valid (ids are stable — TrajectorySet is append-only).
+  TQ_CHECK(users->size() >= users_->size());
+  auto fork = std::unique_ptr<TQTree>(
+      new TQTree(users, options_, DeserializeTag{}));
+  fork->world_ = world_;
+  fork->num_units_ = num_units_;
+  fork->num_nodes_ = num_nodes_;
+  fork->pages_ = pages_;  // structural sharing: O(num_pages) pointer copies
+  fork->cow_stats_ = CowStats{};
+  fork->cow_stats_.pages_at_fork = pages_.size();
+  // Re-tag BOTH trees: every existing page now belongs to neither, so the
+  // first write on either side copies the page instead of mutating shared
+  // state. Readers of this (frozen, published) tree never look at epochs.
+  epoch_ = NewEpoch();
+  fork->epoch_ = NewEpoch();
+  if (fork->prune_mode_ != prune_mode_) {
+    // The extended user set changed the soundness-preserving prune mode
+    // (e.g. a longer trajectory appeared); every shared z-index was built
+    // for the old mode and must be rebuilt. Degenerates to full-clone cost,
+    // but stays correct. Rare: mode depends only on max_points crossing 2.
+    fork->MarkAllZIndexesDirty();
+  }
+  return fork;
+}
+
+// ------------------------------------------------------------ build paths
 
 void TQTree::BulkBuild() {
   for (uint32_t u = 0; u < users_->size(); ++u) Insert(u);
@@ -82,20 +176,23 @@ void TQTree::Insert(uint32_t traj_id) {
 }
 
 int32_t TQTree::ChildContaining(int32_t idx, const Rect& mbr) const {
-  const TQNode& n = nodes_[static_cast<size_t>(idx)];
+  const TQNode& n = node(idx);
   TQ_DCHECK(!n.IsLeaf());
   // The candidate child is the quadrant holding the MBR centre; containment
   // of the whole MBR still has to be verified.
   const int q = n.rect.QuadrantOf(mbr.Center());
   const int32_t child = n.first_child + q;
-  if (nodes_[static_cast<size_t>(child)].rect.ContainsRect(mbr)) return child;
+  if (node(child).rect.ContainsRect(mbr)) return child;
   return -1;
 }
 
 void TQTree::InsertEntry(const TrajEntry& e) {
+  // Copy-on-write descent: only the root-to-store path is made writable
+  // (aggregate repair happens along this copied spine), so a fork touches
+  // O(depth) pages per inserted unit.
   int32_t idx = 0;
   for (;;) {
-    TQNode& n = nodes_[static_cast<size_t>(idx)];
+    TQNode& n = MutableNode(idx);
     n.sub += e.ub;
     n.sub_agg.Add(e.agg);
     if (n.IsLeaf()) {
@@ -113,17 +210,18 @@ void TQTree::InsertEntry(const TrajEntry& e) {
 }
 
 void TQTree::StoreAt(int32_t idx, const TrajEntry& e) {
-  TQNode& n = nodes_[static_cast<size_t>(idx)];
+  TQNode& n = MutableNode(idx);
   n.entries.push_back(e);
   n.local_ub += e.ub;
   n.local_agg.Add(e.agg);
+  n.zindex.reset();
   n.zindex_dirty = true;
   ++num_units_;
 }
 
 void TQTree::MaybeSplit(int32_t idx) {
   {
-    TQNode& n = nodes_[static_cast<size_t>(idx)];
+    const TQNode& n = node(idx);
     if (!n.IsLeaf()) return;
     if (n.entries.size() <= options_.beta) return;
     if (n.depth >= options_.max_depth) return;
@@ -143,33 +241,38 @@ void TQTree::MaybeSplit(int32_t idx) {
       }
     }
     if (!any_movable) {
-      n.split_failed_at = static_cast<uint32_t>(n.entries.size());
+      const auto list_size = static_cast<uint32_t>(n.entries.size());
+      MutableNode(idx).split_failed_at = list_size;  // may invalidate n
       return;
     }
   }
 
-  // Allocate children (invalidates references into nodes_).
-  const auto first = static_cast<int32_t>(nodes_.size());
+  // Allocate children. Appends never move existing nodes (pages are stable),
+  // but AppendNode may copy-own the trailing page, so re-fetch references
+  // after allocation anyway.
+  const auto first = AppendNode();
   {
-    const Rect rect = nodes_[static_cast<size_t>(idx)].rect;
-    const auto depth =
-        static_cast<int16_t>(nodes_[static_cast<size_t>(idx)].depth + 1);
-    for (int q = 0; q < 4; ++q) {
-      TQNode child;
-      child.rect = rect.Quadrant(q);
-      child.depth = depth;
-      nodes_.push_back(std::move(child));
+    const Rect rect = node(idx).rect;
+    const auto depth = static_cast<int16_t>(node(idx).depth + 1);
+    MutableNode(first).rect = rect.Quadrant(0);
+    MutableNode(first).depth = depth;
+    for (int q = 1; q < 4; ++q) {
+      const int32_t child = AppendNode();
+      TQ_CHECK(child == first + q);  // children contiguous in id space
+      TQNode& c = MutableNode(child);
+      c.rect = rect.Quadrant(q);
+      c.depth = depth;
     }
-    nodes_[static_cast<size_t>(idx)].first_child = first;
+    MutableNode(idx).first_child = first;
   }
 
   // Redistribute: units fitting a child sink; the rest stay as the
   // inter-node list of this (now internal) node.
   std::vector<TrajEntry> keep;
   std::vector<TrajEntry> moved;
-  moved.reserve(nodes_[static_cast<size_t>(idx)].entries.size());
+  moved.reserve(node(idx).entries.size());
   {
-    TQNode& n = nodes_[static_cast<size_t>(idx)];
+    TQNode& n = MutableNode(idx);
     for (TrajEntry& e : n.entries) {
       const int q = n.rect.QuadrantOf(e.mbr.Center());
       if (n.rect.Quadrant(q).ContainsRect(e.mbr)) {
@@ -179,6 +282,7 @@ void TQTree::MaybeSplit(int32_t idx) {
       }
     }
     n.entries.swap(keep);
+    n.zindex.reset();
     n.zindex_dirty = true;
     // Recompute local bookkeeping for the kept list.
     n.local_ub = 0.0;
@@ -189,15 +293,15 @@ void TQTree::MaybeSplit(int32_t idx) {
     }
   }
   for (const TrajEntry& e : moved) {
-    const int q =
-        nodes_[static_cast<size_t>(idx)].rect.QuadrantOf(e.mbr.Center());
+    const int q = node(idx).rect.QuadrantOf(e.mbr.Center());
     const int32_t child = first + q;
-    TQNode& c = nodes_[static_cast<size_t>(child)];
+    TQNode& c = MutableNode(child);
     c.sub += e.ub;
     c.sub_agg.Add(e.agg);
     c.entries.push_back(e);
     c.local_ub += e.ub;
     c.local_agg.Add(e.agg);
+    c.zindex.reset();
     c.zindex_dirty = true;
   }
   for (int q = 0; q < 4; ++q) MaybeSplit(first + q);
@@ -206,7 +310,7 @@ void TQTree::MaybeSplit(int32_t idx) {
 int32_t TQTree::ContainingNode(const Rect& r) const {
   int32_t idx = 0;
   for (;;) {
-    const TQNode& n = nodes_[static_cast<size_t>(idx)];
+    const TQNode& n = node(idx);
     if (n.IsLeaf()) return idx;
     const int32_t child = ChildContaining(idx, r);
     if (child < 0) return idx;
@@ -217,11 +321,11 @@ int32_t TQTree::ContainingNode(const Rect& r) const {
 std::vector<int32_t> TQTree::PathTo(int32_t idx) const {
   // Rebuild the path by re-descending toward idx's rectangle centre.
   std::vector<int32_t> path;
-  const Rect target = nodes_[static_cast<size_t>(idx)].rect;
+  const Rect target = node(idx).rect;
   int32_t cur = 0;
   path.push_back(cur);
   while (cur != idx) {
-    const TQNode& n = nodes_[static_cast<size_t>(cur)];
+    const TQNode& n = node(cur);
     TQ_CHECK_MSG(!n.IsLeaf(), "PathTo: idx not reachable from root");
     cur = n.first_child + n.rect.QuadrantOf(target.Center());
     path.push_back(cur);
@@ -231,18 +335,20 @@ std::vector<int32_t> TQTree::PathTo(int32_t idx) const {
 
 const ZIndex* TQTree::zindex(int32_t idx) {
   if (options_.variant != IndexVariant::kZOrder) return nullptr;
-  TQNode& n = nodes_[static_cast<size_t>(idx)];
-  if (n.entries.empty()) return nullptr;
-  if (n.zindex_dirty) {
-    n.zindex = std::make_unique<ZIndex>(n.rect, n.entries, options_.beta,
-                                        prune_mode_);
-    n.zindex_dirty = false;
-  }
+  // Const pre-checks first: an up-to-date (possibly shared) index must not
+  // trigger a page copy, or forks would duplicate every queried page.
+  const TQNode& cn = node(idx);
+  if (cn.entries.empty()) return nullptr;
+  if (!cn.zindex_dirty) return cn.zindex.get();
+  TQNode& n = MutableNode(idx);
+  n.zindex = std::make_shared<const ZIndex>(n.rect, n.entries, options_.beta,
+                                            prune_mode_);
+  n.zindex_dirty = false;
   return n.zindex.get();
 }
 
 void TQTree::BuildAllZIndexes() {
-  for (size_t i = 0; i < nodes_.size(); ++i) {
+  for (size_t i = 0; i < num_nodes_; ++i) {
     (void)zindex(static_cast<int32_t>(i));
   }
 }
@@ -265,13 +371,14 @@ bool TQTree::Remove(uint32_t traj_id) {
 bool TQTree::RemoveUnit(uint32_t traj_id, uint32_t seg_index,
                         const Rect& unit_mbr, double ub,
                         const ServiceAggregates& agg) {
-  // Locate the storing node by re-descending with the unit's MBR.
+  // Locate the storing node by re-descending with the unit's MBR. Read-only:
+  // pages are copied only once the unit is found (a miss costs nothing).
   std::vector<int32_t> path;
   int32_t idx = 0;
   int32_t store = -1;
   for (;;) {
     path.push_back(idx);
-    const TQNode& n = nodes_[static_cast<size_t>(idx)];
+    const TQNode& n = node(idx);
     if (n.IsLeaf()) {
       store = idx;
       break;
@@ -283,20 +390,30 @@ bool TQTree::RemoveUnit(uint32_t traj_id, uint32_t seg_index,
     }
     idx = child;
   }
-  TQNode& n = nodes_[static_cast<size_t>(store)];
-  auto it = std::find_if(n.entries.begin(), n.entries.end(),
-                         [&](const TrajEntry& e) {
-                           return e.traj_id == traj_id &&
-                                  e.seg_index == seg_index;
-                         });
-  if (it == n.entries.end()) return false;
-  n.entries.erase(it);
+  std::ptrdiff_t pos = -1;
+  {
+    const TQNode& n = node(store);
+    const auto it = std::find_if(n.entries.begin(), n.entries.end(),
+                                 [&](const TrajEntry& e) {
+                                   return e.traj_id == traj_id &&
+                                          e.seg_index == seg_index;
+                                 });
+    if (it == n.entries.end()) return false;
+    pos = it - n.entries.begin();
+  }
+  // A page copy preserves entry order, so the offset found on the shared
+  // page stays valid on the writable copy.
+  TQNode& n = MutableNode(store);
+  n.entries.erase(n.entries.begin() + pos);
   n.local_ub -= ub;
   n.local_agg.Subtract(agg);
+  n.zindex.reset();
   n.zindex_dirty = true;
+  // Aggregate repair along the copied spine only.
   for (const int32_t p : path) {
-    nodes_[static_cast<size_t>(p)].sub -= ub;
-    nodes_[static_cast<size_t>(p)].sub_agg.Subtract(agg);
+    TQNode& pn = MutableNode(p);
+    pn.sub -= ub;
+    pn.sub_agg.Subtract(agg);
   }
   --num_units_;
   return true;
@@ -304,8 +421,9 @@ bool TQTree::RemoveUnit(uint32_t traj_id, uint32_t seg_index,
 
 TQTreeStats TQTree::ComputeStats() const {
   TQTreeStats s;
-  s.num_nodes = nodes_.size();
-  for (const TQNode& n : nodes_) {
+  s.num_nodes = num_nodes_;
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    const TQNode& n = node(static_cast<int32_t>(i));
     if (n.IsLeaf()) ++s.num_leaves;
     s.num_entries += n.entries.size();
     s.max_depth = std::max(s.max_depth, static_cast<size_t>(n.depth));

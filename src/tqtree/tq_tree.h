@@ -14,10 +14,21 @@
 //                             of §III and the full-trajectory index of §III-A.
 //   * TrajMode::kSegmented  — every consecutive point pair stored as its own
 //                             unit (the segmented index of §III-A).
+//
+// Persistent storage (the serving runtime's snapshot substrate): nodes live
+// in immutable, reference-counted pages (NodePage, node.h) addressed through
+// a per-tree page table, id -> pages_[id >> kNodePageShift]. Fork() produces
+// a new tree sharing EVERY page with its parent in O(num_pages) pointer
+// copies; a subsequent Insert/Remove on either tree path-copies only the
+// pages its root-to-leaf paths (and split allocations) touch, re-tagging
+// them with the writing tree's epoch. Untouched pages — including their
+// already-built z-indexes — stay shared, so publishing a small write batch
+// costs O(batch × depth) node copies instead of a full-tree clone.
 #ifndef TQCOVER_TQTREE_TQ_TREE_H_
 #define TQCOVER_TQTREE_TQ_TREE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,12 +72,33 @@ struct TQTreeStats {
   std::string ToString() const;
 };
 
+/// Copy-on-write accounting since this tree was forked (all zero for trees
+/// built from scratch or loaded from disk). `nodes_copied` counts the nodes
+/// living in pages this tree had to duplicate before writing — the physical
+/// publish cost a write batch pays; `pages_shared` is how many of the
+/// fork-time pages are still shared with the parent snapshot.
+struct CowStats {
+  uint64_t pages_copied = 0;
+  uint64_t nodes_copied = 0;
+  uint64_t pages_at_fork = 0;
+
+  uint64_t pages_shared() const {
+    return pages_at_fork > pages_copied ? pages_at_fork - pages_copied : 0;
+  }
+};
+
 /// The TQ-tree. Bulk-built over a TrajectorySet (not owned; must outlive the
 /// tree); supports dynamic Insert/Remove (§III-C). Not thread-safe: z-index
 /// rebuilds after updates are lazy and mutate internal state on first query.
 class TQTree {
  public:
   TQTree(const TrajectorySet* users, TQTreeOptions options);
+
+  // A plain copy would share pages AND the ownership epoch — both sides
+  // would then write shared pages in place. Fork() is the only sanctioned
+  // way to duplicate a tree.
+  TQTree(const TQTree&) = delete;
+  TQTree& operator=(const TQTree&) = delete;
 
   const TQTreeOptions& options() const { return options_; }
   const TrajectorySet& users() const { return *users_; }
@@ -85,10 +117,33 @@ class TQTree {
 
   int32_t root() const { return 0; }
   const TQNode& node(int32_t idx) const {
-    return nodes_[static_cast<size_t>(idx)];
+    return pages_[static_cast<size_t>(idx) >> kNodePageShift]
+        ->nodes[static_cast<size_t>(idx) & kNodePageMask];
   }
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_pages() const { return pages_.size(); }
   size_t num_units() const { return num_units_; }
+
+  /// Structurally-shared copy: the fork shares every node page (and every
+  /// built z-index) with this tree; both sides then copy pages on first
+  /// write, so neither can disturb the other. `users` must be the same
+  /// trajectory set or an append-only extension of it (ids are stable), and
+  /// must outlive the fork. Cost: O(num_pages) shared_ptr copies — this is
+  /// the snapshot-publish primitive of the concurrent runtime.
+  ///
+  /// After the fork, the PARENT also copies on write (it no longer owns any
+  /// page), so retained older snapshots stay bit-identical no matter which
+  /// side is written next.
+  ///
+  /// Rare slow path: if the extended user set flips the tree's
+  /// soundness-preserving z-prune mode (a longer trajectory appears and
+  /// EndpointsOnly no longer holds), the shared z-indexes are invalid for
+  /// the fork and every node is marked dirty — the publish then costs a
+  /// rebuild, like the old full clone, but never answers wrongly.
+  std::unique_ptr<TQTree> Fork(const TrajectorySet* users);
+
+  /// Copy-on-write accounting since the last Fork() that created this tree.
+  const CowStats& cow_stats() const { return cow_stats_; }
 
   /// Smallest node whose rectangle contains `r` (the paper's
   /// containingQNode); the root when nothing smaller contains it.
@@ -103,7 +158,9 @@ class TQTree {
 
   /// Rebuilds every dirty z-index now (no-op for kBasic trees). After this,
   /// queries are read-only until the next Insert/Remove — the freezing step
-  /// the concurrent runtime performs before publishing a tree snapshot.
+  /// the concurrent runtime performs before publishing a tree snapshot. On a
+  /// fork, only nodes the write batch touched are dirty, so this rebuilds
+  /// O(batch × depth) z-indexes, not the whole tree's.
   void BuildAllZIndexes();
 
   /// Inserts trajectory `traj_id` of the user set (as a whole unit or as all
@@ -119,7 +176,7 @@ class TQTree {
 
   /// Total of all per-node `sub` consistency: root sub must equal the sum of
   /// every stored unit's upper bound. Used by tests / TQ_DCHECK audits.
-  double RootUpperBound() const { return nodes_[0].sub; }
+  double RootUpperBound() const { return node(0).sub; }
 
  private:
   friend class TQTreeBuilderAccess;  // test hook
@@ -128,6 +185,24 @@ class TQTree {
   /// Deserialisation constructor: sets up members without bulk-building.
   struct DeserializeTag {};
   TQTree(const TrajectorySet* users, TQTreeOptions options, DeserializeTag);
+
+  /// Writable reference to node `idx`: copies its page first if the page is
+  /// shared with (or still owned by) another tree instance. References stay
+  /// valid until another CopyPage of the SAME page — appends never move
+  /// existing nodes, unlike the old contiguous node array.
+  TQNode& MutableNode(int32_t idx) {
+    const auto p = static_cast<size_t>(idx) >> kNodePageShift;
+    if (pages_[p]->epoch != epoch_) CopyPage(p);
+    return pages_[p]->nodes[static_cast<size_t>(idx) & kNodePageMask];
+  }
+  void CopyPage(size_t page_index);
+  /// Appends a default node, growing (and if needed copy-owning) the last
+  /// page; returns its id.
+  int32_t AppendNode();
+  /// Allocates `count` owned pages holding exactly `n` default nodes (load
+  /// path; no sharing, no copy accounting).
+  void ResizeNodes(size_t n);
+  void MarkAllZIndexesDirty();
 
   void BulkBuild();
   void InsertEntry(const TrajEntry& e);
@@ -142,7 +217,13 @@ class TQTree {
   TQTreeOptions options_;
   Rect world_;
   ZPruneMode prune_mode_;
-  std::vector<TQNode> nodes_;
+  /// Page-table storage: node id -> pages_[id >> shift]->nodes[id & mask].
+  /// Pages are shared across forked trees; epoch_ tags the pages this
+  /// instance may write in place.
+  std::vector<std::shared_ptr<NodePage>> pages_;
+  size_t num_nodes_ = 0;
+  uint64_t epoch_ = 0;
+  CowStats cow_stats_;
   size_t num_units_ = 0;
   size_t max_points_ = 0;
 };

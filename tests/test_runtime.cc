@@ -17,7 +17,6 @@
 #include "runtime/result_cache.h"
 #include "runtime/thread_pool.h"
 #include "test_util.h"
-#include "tqtree/serialize.h"
 
 namespace tq {
 namespace {
@@ -97,7 +96,7 @@ TEST(ResultCache, ZeroCapacityDisables) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
-TEST(CloneTQTree, CloneAnswersIdenticallyAndIsIndependent) {
+TEST(TQTreeFork, ForkAnswersIdenticallyAndIsIndependent) {
   Rng rng(71);
   const Rect w = Rect::Of(0, 0, 20000, 20000);
   const TrajectorySet base = testing::RandomUsers(&rng, 300, 2, 5, w);
@@ -108,17 +107,20 @@ TEST(CloneTQTree, CloneAnswersIdenticallyAndIsIndependent) {
   opt.model = model;
   TQTree original(&base, opt);
 
-  // Clone against an extended copy of the user set, then insert the new
-  // trajectory into the clone only — the copy-on-write writer's exact moves.
+  // Fork against an extended copy of the user set, then insert the new
+  // trajectory into the fork only — the copy-on-write writer's exact moves.
   TrajectorySet extended = base;
   std::vector<Point> extra;
   for (int i = 0; i < 4; ++i) {
     extra.push_back(Point{5000.0 + 100.0 * i, 5000.0});
   }
   const uint32_t new_id = extended.Add(extra);
-  std::unique_ptr<TQTree> clone = CloneTQTree(original, &extended);
-  ASSERT_NE(clone, nullptr);
-  EXPECT_EQ(clone->num_units(), original.num_units());
+  std::unique_ptr<TQTree> fork = original.Fork(&extended);
+  ASSERT_NE(fork, nullptr);
+  EXPECT_EQ(fork->num_units(), original.num_units());
+  // Pure structural sharing until the first write: nothing copied yet.
+  EXPECT_EQ(fork->cow_stats().nodes_copied, 0u);
+  EXPECT_EQ(fork->cow_stats().pages_shared(), original.num_pages());
 
   const ServiceEvaluator eval_base(&base, model);
   const ServiceEvaluator eval_ext(&extended, model);
@@ -126,14 +128,20 @@ TEST(CloneTQTree, CloneAnswersIdenticallyAndIsIndependent) {
   for (uint32_t f = 0; f < catalog.size(); ++f) {
     EXPECT_DOUBLE_EQ(
         EvaluateServiceTQ(&original, eval_base, catalog.grid(f)),
-        EvaluateServiceTQ(clone.get(), eval_ext, catalog.grid(f)));
+        EvaluateServiceTQ(fork.get(), eval_ext, catalog.grid(f)));
   }
+  // Read-only queries on either side never break the page sharing.
+  EXPECT_EQ(fork->cow_stats().nodes_copied, 0u);
 
-  clone->Insert(new_id);
-  EXPECT_EQ(clone->num_units(), original.num_units() + 1);
+  fork->Insert(new_id);
+  fork->BuildAllZIndexes();
+  EXPECT_EQ(fork->num_units(), original.num_units() + 1);
+  // The insert path-copied the touched pages — and only those.
+  EXPECT_GT(fork->cow_stats().nodes_copied, 0u);
+  EXPECT_LT(fork->cow_stats().nodes_copied, original.num_nodes());
   for (uint32_t f = 0; f < catalog.size(); ++f) {
-    // The clone now reflects the extended set; the original is untouched.
-    EXPECT_NEAR(EvaluateServiceTQ(clone.get(), eval_ext, catalog.grid(f)),
+    // The fork now reflects the extended set; the original is untouched.
+    EXPECT_NEAR(EvaluateServiceTQ(fork.get(), eval_ext, catalog.grid(f)),
                 testing::BruteForceSO(extended, facs.points(f), model), 1e-6);
     EXPECT_NEAR(EvaluateServiceTQ(&original, eval_base, catalog.grid(f)),
                 testing::BruteForceSO(base, facs.points(f), model), 1e-6);

@@ -70,7 +70,7 @@ int Usage() {
       "  serve    --users FILE --facilities FILE [--threads 4] [--shards 1]\n"
       "           [--queries 1000] [--topk-every 0] [--k 8] [--psi 200]\n"
       "           [--scenario ...] [--beta 64] [--cache 4096]\n"
-      "           [--updates 0] [--update-size 64]\n"
+      "           [--updates 0] [--update-size 64] [--update-batch 1]\n"
       "files: .bin (packed binary) or anything else (CSV x1,y1;x2,y2;...)\n");
   return 2;
 }
@@ -257,11 +257,18 @@ int RunServeLoop(EngineT& engine, tq::TrajectorySet mirror,
   const size_t k = args.GetSize("k", 8);
   const size_t num_updates = args.GetSize("updates", 0);
   const size_t update_size = args.GetSize("update-size", 64);
+  // --update-batch N coalesces N churn events into ONE forked publish —
+  // the cheap-publish path end to end: path-copy cost is paid per batch,
+  // not per streamed write. 1 (default) publishes every event, as before.
+  const size_t update_batch =
+      std::max<size_t>(1, args.GetSize("update-batch", 1));
   const size_t num_facilities = engine.snapshot()->catalog->size();
 
   tq::Timer serve_timer;
   std::vector<std::future<tq::runtime::QueryResponse>> futures;
   futures.reserve(num_queries);
+  tq::runtime::UpdateBatch pending;
+  size_t pending_events = 0;
   for (size_t q = 0; q < num_queries; ++q) {
     if (topk_every > 0 && q % topk_every == 0) {
       futures.push_back(engine.Submit(tq::runtime::QueryRequest::TopK(k)));
@@ -270,23 +277,28 @@ int RunServeLoop(EngineT& engine, tq::TrajectorySet mirror,
       futures.push_back(
           engine.Submit(tq::runtime::QueryRequest::ServiceValue(f)));
     }
-    // Churn: periodically re-publish a snapshot that removes and re-inserts
-    // one trajectory block, exercising the copy-on-write writer mid-stream.
+    // Churn: periodically remove and re-insert one trajectory block,
+    // exercising the copy-on-write writer mid-stream. Events accumulate in
+    // `pending` and publish every `update_batch` events.
     if (num_updates > 0 && q > 0 &&
         q % std::max<size_t>(1, num_queries / num_updates) == 0) {
-      tq::runtime::UpdateBatch batch;
       for (size_t i = 0; i < update_size && i < mirror.size(); ++i) {
         const auto id = static_cast<uint32_t>((q + i) % mirror.size());
         const auto pts = mirror.points(id);
-        batch.inserts.emplace_back(pts.begin(), pts.end());
-        batch.removes.push_back(id);
+        pending.inserts.emplace_back(pts.begin(), pts.end());
+        pending.removes.push_back(id);
+        // Append the private copy, not the span — Add() into the set a
+        // span points into would be self-referential.
+        mirror.Add(pending.inserts.back());
       }
-      for (const std::vector<tq::Point>& traj : batch.inserts) {
-        mirror.Add(traj);
+      if (++pending_events >= update_batch) {
+        engine.ApplyUpdates(pending);
+        pending = tq::runtime::UpdateBatch{};
+        pending_events = 0;
       }
-      engine.ApplyUpdates(batch);
     }
   }
+  if (pending_events > 0) engine.ApplyUpdates(pending);
   double checksum = 0.0;
   for (auto& f : futures) checksum += f.get().value;
   const double serve_s = serve_timer.ElapsedSeconds();

@@ -14,10 +14,17 @@
 // sizes 1/16/256, plus nodes_copied per publish against the tree's total —
 // the number that proves a publish is O(batch × depth), not a full clone.
 //
-// Besides the usual table + "# csv:" lines, emits three "# json:" lines
-// ("runtime_throughput", "runtime_throughput_sharded" and
-// "runtime_write_path") so the BENCH_runtime.json trajectory can track
-// read QPS and write scaling across PRs. Honors REPRO_SCALE / REPRO_FULL
+// A fourth section measures BOUND-AND-PRUNE top-k: per (shards, k), the
+// fraction of (facility, shard) slots the pruned protocol exactly
+// evaluates (exhaustive sweep = 1.0) and the pruned vs exhaustive query
+// latency. CI gates on its facilities_evaluated staying below
+// total_facilities for k=10, shards=4.
+//
+// Besides the usual table + "# csv:" lines, emits four "# json:" lines
+// ("runtime_throughput", "runtime_throughput_sharded",
+// "runtime_write_path" and "runtime_topk_prune") so the
+// BENCH_runtime.json trajectory can track read QPS, write scaling and
+// pruning effectiveness across PRs. Honors REPRO_SCALE / REPRO_FULL
 // (bench_util.h).
 #include <algorithm>
 #include <cstdio>
@@ -277,6 +284,77 @@ int main() {
         i == 0 ? "" : ",", r.batch, r.publishes, r.publishes_per_sec,
         r.p50_ms, r.p99_ms, r.nodes_copied_per_publish,
         r.pages_shared_per_publish);
+  }
+  std::printf("]}\n");
+
+  // Bound-and-prune top-k: evaluated fraction and latency against the
+  // exhaustive gather. Cache capacity 0 so every query runs the full
+  // protocol (no memoised-answer shortcuts, no per-facility hits).
+  tq::bench::Banner("Distributed top-k — bound-and-prune vs exhaustive");
+  struct PruneResult {
+    size_t shards = 0;
+    size_t k = 0;
+    uint64_t facilities_evaluated = 0;
+    uint64_t total_facilities = 0;  // (facility, shard) evaluation slots
+    double evaluated_fraction = 0.0;
+    double pruned_ms = 0.0;
+    double exhaustive_ms = 0.0;
+  };
+  std::vector<PruneResult> prune_results;
+  tq::bench::PrintSeriesHeader({"eval_frac", "pruned_ms", "exhaust_ms"});
+  const size_t prune_reps = std::max<size_t>(3, env.reps);
+  for (const size_t shards : {1u, 4u, 8u}) {
+    ShardedEngineOptions pruned_options;
+    pruned_options.num_shards = shards;
+    pruned_options.num_threads = 4;
+    pruned_options.cache_capacity = 0;
+    pruned_options.prune_topk = true;
+    pruned_options.tree.beta = env.DefaultBeta();
+    pruned_options.tree.model = model;
+    ShardedEngine pruned(users, routes, pruned_options);
+    ShardedEngineOptions exhaustive_options = pruned_options;
+    exhaustive_options.prune_topk = false;
+    ShardedEngine exhaustive(users, routes, exhaustive_options);
+    for (const size_t k : {1u, 10u, 100u}) {
+      PruneResult r;
+      r.shards = shards;
+      r.k = k;
+      r.total_facilities = static_cast<uint64_t>(routes.size()) * shards;
+      const tq::runtime::MetricsView m0 = pruned.metrics().Read();
+      r.pruned_ms = 1e3 * tq::bench::TimeAvgSeconds(prune_reps, [&]() {
+        (void)pruned.Submit(tq::runtime::QueryRequest::TopK(k)).get();
+      });
+      const tq::runtime::MetricsView m1 = pruned.metrics().Read();
+      r.facilities_evaluated =
+          (m1.facilities_evaluated - m0.facilities_evaluated) / prune_reps;
+      r.evaluated_fraction = static_cast<double>(r.facilities_evaluated) /
+                             static_cast<double>(r.total_facilities);
+      r.exhaustive_ms = 1e3 * tq::bench::TimeAvgSeconds(prune_reps, [&]() {
+        (void)exhaustive.Submit(tq::runtime::QueryRequest::TopK(k)).get();
+      });
+      prune_results.push_back(r);
+      char label[48];
+      std::snprintf(label, sizeof(label), "shards=%zu,k=%zu", shards, k);
+      tq::bench::PrintTimeRow(label,
+                              {"eval_frac", "pruned_ms", "exhaust_ms"},
+                              {r.evaluated_fraction, r.pruned_ms,
+                               r.exhaustive_ms});
+    }
+  }
+
+  std::printf("# json: {\"bench\":\"runtime_topk_prune\",\"preset\":\"nyf\","
+              "\"users\":%zu,\"facilities\":%zu,\"results\":[",
+              users.size(), routes.size());
+  for (size_t i = 0; i < prune_results.size(); ++i) {
+    const PruneResult& r = prune_results[i];
+    std::printf(
+        "%s{\"shards\":%zu,\"k\":%zu,\"facilities_evaluated\":%llu,"
+        "\"total_facilities\":%llu,\"evaluated_fraction\":%.4f,"
+        "\"pruned_ms\":%.3f,\"exhaustive_ms\":%.3f}",
+        i == 0 ? "" : ",", r.shards, r.k,
+        static_cast<unsigned long long>(r.facilities_evaluated),
+        static_cast<unsigned long long>(r.total_facilities),
+        r.evaluated_fraction, r.pruned_ms, r.exhaustive_ms);
   }
   std::printf("]}\n");
   return 0;

@@ -44,6 +44,15 @@ struct MetricsView {
   uint64_t nodes_copied = 0;
   uint64_t pages_shared = 0;
   uint64_t publish_ns = 0;
+  /// Bound-and-prune top-k accounting (sharded engine): per-shard exact
+  /// facility evaluations the pruned protocol performed vs. the ones the
+  /// bound let it skip (exhaustive sweep = facilities × shards evaluations,
+  /// facilities_pruned = 0), and coordinator rounds run (1 when round 1
+  /// already refined every candidate, else 2). All 0 on the unsharded
+  /// engine and for exhaustive-mode gathers.
+  uint64_t facilities_evaluated = 0;
+  uint64_t facilities_pruned = 0;
+  uint64_t prune_rounds = 0;
   uint64_t nodes_visited = 0;
   uint64_t entries_scanned = 0;
   uint64_t exact_checks = 0;
@@ -81,6 +90,9 @@ struct MetricsView {
     field("nodes_copied", nodes_copied);
     field("pages_shared", pages_shared);
     field("publish_ns", publish_ns);
+    field("facilities_evaluated", facilities_evaluated);
+    field("facilities_pruned", facilities_pruned);
+    field("prune_rounds", prune_rounds);
     field("nodes_visited", nodes_visited);
     field("entries_scanned", entries_scanned);
     field("exact_checks", exact_checks);
@@ -136,6 +148,14 @@ class MetricsRegistry {
     publish_ns_.fetch_add(ns, std::memory_order_relaxed);
   }
 
+  /// Folds one pruned top-k gather's work accounting into the registry.
+  void AddTopKPruneWork(uint64_t evaluated, uint64_t pruned,
+                        uint64_t rounds) {
+    facilities_evaluated_.fetch_add(evaluated, std::memory_order_relaxed);
+    facilities_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+    prune_rounds_.fetch_add(rounds, std::memory_order_relaxed);
+  }
+
   /// Folds one query's traversal counters into the registry.
   void RecordQueryStats(const QueryStats& s) {
     nodes_visited_.fetch_add(s.nodes_visited, std::memory_order_relaxed);
@@ -164,6 +184,10 @@ class MetricsRegistry {
     v.nodes_copied = nodes_copied_.load(std::memory_order_relaxed);
     v.pages_shared = pages_shared_.load(std::memory_order_relaxed);
     v.publish_ns = publish_ns_.load(std::memory_order_relaxed);
+    v.facilities_evaluated =
+        facilities_evaluated_.load(std::memory_order_relaxed);
+    v.facilities_pruned = facilities_pruned_.load(std::memory_order_relaxed);
+    v.prune_rounds = prune_rounds_.load(std::memory_order_relaxed);
     v.nodes_visited = nodes_visited_.load(std::memory_order_relaxed);
     v.entries_scanned = entries_scanned_.load(std::memory_order_relaxed);
     v.exact_checks = exact_checks_.load(std::memory_order_relaxed);
@@ -187,6 +211,9 @@ class MetricsRegistry {
   std::atomic<uint64_t> nodes_copied_{0};
   std::atomic<uint64_t> pages_shared_{0};
   std::atomic<uint64_t> publish_ns_{0};
+  std::atomic<uint64_t> facilities_evaluated_{0};
+  std::atomic<uint64_t> facilities_pruned_{0};
+  std::atomic<uint64_t> prune_rounds_{0};
   std::atomic<uint64_t> nodes_visited_{0};
   std::atomic<uint64_t> entries_scanned_{0};
   std::atomic<uint64_t> exact_checks_{0};

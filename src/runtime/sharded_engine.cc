@@ -2,13 +2,27 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <functional>
+#include <queue>
 #include <utility>
 
 #include "common/check.h"
 #include "query/eval_service.h"
 
 namespace {
+
+/// Raises `floor` to at least `v` (monotone max over non-negative doubles:
+/// for values ≥ 0 the IEEE-754 bit patterns sort like the values, so the
+/// global prune floor can live in one lock-free atomic word).
+void RaiseFloor(std::atomic<uint64_t>* floor, double v) {
+  const uint64_t nb = std::bit_cast<uint64_t>(v);
+  uint64_t cur = floor->load(std::memory_order_relaxed);
+  while (cur < nb && !floor->compare_exchange_weak(
+                         cur, nb, std::memory_order_relaxed)) {
+  }
+}
 
 /// The top-k cache key of a sharded snapshot: every shard's generation, in
 /// shard order. Exact vector equality means a hit can never mix two shard
@@ -28,8 +42,10 @@ tq::runtime::ResultCache::TopKKey TopKKeyFor(
 namespace tq::runtime {
 
 // Shared per-query scatter/gather state. Each shard task writes only its own
-// slots; the last task to finish (remaining hits zero) performs the gather,
-// so no pool thread ever blocks on another task.
+// slots; the last task to finish (remaining hits zero) performs the gather —
+// which for pruned top-k is the COORDINATOR step that may fan out a second
+// round of per-shard refinement tasks. No pool thread ever blocks on another
+// task; the rounds are sequenced by the remaining-counter barrier alone.
 struct ShardedEngine::GatherState {
   QueryRequest request;
   ShardedSnapshotPtr snap;  // pins every shard's tree for the query
@@ -39,6 +55,19 @@ struct ShardedEngine::GatherState {
   std::vector<QueryStats> stats;                // per shard
   std::vector<uint8_t> hits;                    // per shard: all lookups hit
   std::atomic<size_t> remaining{0};
+
+  // Bound-and-prune top-k protocol state (prune_topk mode only).
+  std::vector<std::vector<double>> bounds;   // round 1: per shard, per fac
+  std::vector<std::vector<uint8_t>> known;   // fac_values[s][f] is exact
+  std::vector<uint32_t> candidates;          // round 2 refinement set
+  /// Running global lower bound on the k-th exact value (double bits):
+  /// shards raise it as their local top-k completes; round-1 cursors stop
+  /// once their next-best local bound falls below it.
+  std::atomic<uint64_t> floor_bits{0};
+  /// Exact per-(facility, shard) evaluations performed so far.
+  std::atomic<uint64_t> evaluated{0};
+  /// Coordinator rounds executed (1 when round 1 settled everything).
+  uint32_t rounds = 0;
 };
 
 ShardedEngine::ShardedEngine(TrajectorySet users, TrajectorySet facilities,
@@ -149,6 +178,12 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
       state->promise.set_value(std::move(response));
       return future;
     }
+    // Degenerate ranking (k = 0 or an empty catalog) needs no scatter at
+    // all — answer empty immediately, like the malformed-request path.
+    if (request.k == 0 || state->snap->catalog->size() == 0) {
+      state->promise.set_value(std::move(response));
+      return future;
+    }
   }
 
   const size_t n = state->snap->shards.size();
@@ -157,6 +192,16 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
   state->stats.resize(n);
   state->hits.assign(n, 0);
   state->remaining.store(n, std::memory_order_relaxed);
+  if (state->request.kind == QueryKind::kTopK && options_.prune_topk) {
+    // Bound-and-prune protocol: scatter round-1 bound-sweep tasks; the
+    // coordinator (last finisher) decides what round 2 must refine.
+    state->bounds.resize(n);
+    state->known.resize(n);
+    for (size_t s = 0; s < n; ++s) {
+      pool_.Post([this, state, s]() { ExecuteTopKBoundRound(state, s); });
+    }
+    return future;
+  }
   for (size_t s = 0; s < n; ++s) {
     pool_.Post([this, state, s]() { ExecuteShard(state, s); });
   }
@@ -258,18 +303,228 @@ void ShardedEngine::Gather(GatherState* state) {
       for (size_t s = 0; s < n; ++s) sum += state->fac_values[s][f];
       all[f] = RankedFacility{f, sum};
     }
-    const size_t k = std::min(state->request.k, num_fac);
-    std::partial_sort(all.begin(),
-                      all.begin() + static_cast<std::ptrdiff_t>(k),
-                      all.end(), RankedBefore);
-    all.resize(k);
-    response.ranked = std::move(all);
-    if (cache_.enabled()) {
-      metrics_.AddCacheMiss();
-      metrics_.AddCacheEvictions(cache_.PutTopK(
-          TopKKeyFor(snap, state->request.k), response.ranked));
+    RankTopK(state, std::move(all), &response);
+  }
+  metrics_.RecordQueryStats(total);
+  state->promise.set_value(std::move(response));
+}
+
+void ShardedEngine::RankTopK(GatherState* state,
+                             std::vector<RankedFacility> complete,
+                             QueryResponse* response) {
+  const size_t num_fac = state->snap->catalog->size();
+  const size_t k = std::min(state->request.k, num_fac);
+  TQ_CHECK(complete.size() >= k);
+  std::partial_sort(complete.begin(),
+                    complete.begin() + static_cast<std::ptrdiff_t>(k),
+                    complete.end(), RankedBefore);
+  complete.resize(k);
+  response->ranked = std::move(complete);
+  if (cache_.enabled()) {
+    metrics_.AddCacheMiss();
+    metrics_.AddCacheEvictions(cache_.PutTopK(
+        TopKKeyFor(*state->snap, state->request.k), response->ranked));
+  }
+}
+
+void ShardedEngine::ExecuteTopKBoundRound(
+    const std::shared_ptr<GatherState>& state, size_t shard_idx) {
+  const ShardState& shard = *state->snap->shards[shard_idx];
+  const FacilityCatalog& catalog = *state->snap->catalog;
+  const size_t num_fac = catalog.size();
+  // Submit answers k = 0 / empty-catalog requests directly, so k ≥ 1 here.
+  const size_t k = std::min(state->request.k, num_fac);
+  QueryStats stats;
+
+  // Bound sweep: one cheap aggregate bound per facility, no entry scanned.
+  std::vector<double>& bounds = state->bounds[shard_idx];
+  bounds.resize(num_fac, 0.0);
+  for (uint32_t f = 0; f < num_fac; ++f) {
+    bounds[f] = shard.tree->UpperBound(catalog.grid(f), options_.bound_levels,
+                                       &stats.nodes_visited);
+  }
+
+  // Incremental next-best cursor: exact evaluation in descending-bound
+  // order, stopping as soon as the next bound falls below the running
+  // threshold — the larger of this shard's own k-th exact value and the
+  // global floor other shards have already raised. Everything this round
+  // produces is advisory (it seeds the coordinator's threshold and warms
+  // the cache); stopping early can cost round-2 work but never exactness.
+  std::vector<double>& values = state->fac_values[shard_idx];
+  std::vector<uint8_t>& known = state->known[shard_idx];
+  values.resize(num_fac, 0.0);
+  known.assign(num_fac, 0);
+  std::vector<uint32_t> order(num_fac);
+  for (uint32_t f = 0; f < num_fac; ++f) order[f] = f;
+  std::sort(order.begin(), order.end(), [&bounds](uint32_t a, uint32_t b) {
+    if (bounds[a] != bounds[b]) return bounds[a] > bounds[b];
+    return a < b;
+  });
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      local_topk;  // min-heap over this shard's k largest exact values
+  uint64_t evaluated = 0;
+  for (const uint32_t f : order) {
+    if (bounds[f] <= 0.0) {
+      // A zero bound IS the exact value: 0 ≤ SO_s(f) ≤ UB_s(f) = 0. The
+      // sorted cursor means every remaining facility is settled the same
+      // way, for free.
+      values[f] = 0.0;
+      known[f] = 1;
+      continue;
+    }
+    if (local_topk.size() >= k) {
+      const double threshold = std::max(
+          local_topk.top(),
+          std::bit_cast<double>(
+              state->floor_bits.load(std::memory_order_relaxed)));
+      if (bounds[f] < threshold) break;  // cursor stops; so would all later
+    }
+    bool hit = false;
+    values[f] = ShardServiceValue(shard, catalog, f, &stats, &hit);
+    known[f] = 1;
+    ++evaluated;
+    local_topk.push(values[f]);
+    if (local_topk.size() > k) local_topk.pop();
+    if (local_topk.size() == k) {
+      // SO(U, f) ≥ SO_s(f), so this shard's k-th exact value lower-bounds
+      // the global k-th value — publish it for the other cursors.
+      RaiseFloor(&state->floor_bits, local_topk.top());
     }
   }
+
+  state->stats[shard_idx] = stats;
+  state->evaluated.fetch_add(evaluated, std::memory_order_relaxed);
+  metrics_.AddShardTask();
+  if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    CoordinateTopK(state);
+  }
+}
+
+void ShardedEngine::CoordinateTopK(const std::shared_ptr<GatherState>& state) {
+  const size_t n = state->snap->shards.size();
+  const FacilityCatalog& catalog = *state->snap->catalog;
+  const size_t num_fac = catalog.size();
+  const size_t k = std::min(state->request.k, num_fac);
+  state->rounds++;
+
+  // Global bound B(f) = Σ_s UB_s(f) and partial lower bound
+  // L(f) = Σ_{s that evaluated f} SO_s(f) ≤ SO(U, f) (values are
+  // non-negative, so missing shards only understate).
+  std::vector<double> global_bound(num_fac, 0.0);
+  std::vector<double> global_lower(num_fac, 0.0);
+  for (uint32_t f = 0; f < num_fac; ++f) {
+    for (size_t s = 0; s < n; ++s) {
+      global_bound[f] += state->bounds[s][f];
+      if (state->known[s][f]) global_lower[f] += state->fac_values[s][f];
+    }
+    if (global_bound[f] <= 0.0) {
+      // Nothing anywhere can serve f: settle every shard slot exactly.
+      for (size_t s = 0; s < n; ++s) {
+        state->fac_values[s][f] = 0.0;
+        state->known[s][f] = 1;
+      }
+    }
+  }
+
+  // Running k-th threshold τ: the k-th largest partial lower bound. Any
+  // facility with B(f) < τ has SO(U, f) ≤ B(f) < τ ≤ k-th exact value —
+  // strictly below the answer even on exact ties, so pruning it is safe
+  // under the (value desc, id asc) order. B(f) == τ stays a candidate.
+  std::vector<double> lower = global_lower;
+  std::nth_element(lower.begin(), lower.begin() + (k - 1), lower.end(),
+                   std::greater<double>());
+  const double threshold = lower[k - 1];
+
+  state->candidates.clear();
+  for (uint32_t f = 0; f < num_fac; ++f) {
+    bool fully_known = true;
+    for (size_t s = 0; s < n && fully_known; ++s) {
+      fully_known = state->known[s][f] != 0;
+    }
+    if (fully_known) continue;
+    if (global_bound[f] >= threshold) state->candidates.push_back(f);
+    // else pruned: provably absent from the top-k.
+  }
+
+  if (state->candidates.empty()) {
+    FinishTopK(state.get());
+    return;
+  }
+  // Round 2: refine only the surviving candidates, on every shard that has
+  // not already evaluated them. The remaining-counter barrier is reset
+  // before the fan-out; Post's queue ordering makes the candidate list
+  // visible to the round-2 tasks.
+  state->rounds++;
+  state->remaining.store(n, std::memory_order_relaxed);
+  for (size_t s = 0; s < n; ++s) {
+    pool_.Post([this, state, s]() { ExecuteTopKRefineRound(state, s); });
+  }
+}
+
+void ShardedEngine::ExecuteTopKRefineRound(
+    const std::shared_ptr<GatherState>& state, size_t shard_idx) {
+  const ShardState& shard = *state->snap->shards[shard_idx];
+  const FacilityCatalog& catalog = *state->snap->catalog;
+  QueryStats stats;
+  std::vector<double>& values = state->fac_values[shard_idx];
+  std::vector<uint8_t>& known = state->known[shard_idx];
+  uint64_t evaluated = 0;
+  for (const uint32_t f : state->candidates) {
+    if (known[f]) continue;  // round 1 already settled it
+    if (state->bounds[shard_idx][f] <= 0.0) {
+      // Round 1's cursor stopped before reaching this zero-bound tail
+      // entry, but 0 ≤ SO_s(f) ≤ UB_s(f) = 0 settles it without a tree
+      // traversal (another shard's positive bound made f a candidate).
+      values[f] = 0.0;
+      known[f] = 1;
+      continue;
+    }
+    bool hit = false;
+    values[f] = ShardServiceValue(shard, catalog, f, &stats, &hit);
+    known[f] = 1;
+    ++evaluated;
+  }
+  state->stats[shard_idx].Add(stats);
+  state->evaluated.fetch_add(evaluated, std::memory_order_relaxed);
+  metrics_.AddShardTask();
+  if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    FinishTopK(state.get());
+  }
+}
+
+void ShardedEngine::FinishTopK(GatherState* state) {
+  const ShardedSnapshot& snap = *state->snap;
+  const size_t n = snap.shards.size();
+  const size_t num_fac = snap.catalog->size();
+  const size_t k = std::min(state->request.k, num_fac);
+  QueryResponse response;
+  response.kind = state->request.kind;
+  response.snapshot_version = snap.version;
+
+  QueryStats total;
+  for (size_t s = 0; s < n; ++s) total.Add(state->stats[s]);
+  response.stats = total;
+
+  // Rank the fully-evaluated facilities only: every other facility is
+  // provably strictly below the k-th value. Summing in ascending shard
+  // order reproduces the exhaustive gather's doubles bit for bit.
+  std::vector<RankedFacility> complete;
+  complete.reserve(num_fac);
+  for (uint32_t f = 0; f < num_fac; ++f) {
+    bool fully_known = true;
+    for (size_t s = 0; s < n && fully_known; ++s) {
+      fully_known = state->known[s][f] != 0;
+    }
+    if (!fully_known) continue;
+    double sum = 0.0;
+    for (size_t s = 0; s < n; ++s) sum += state->fac_values[s][f];
+    complete.push_back(RankedFacility{f, sum});
+  }
+  RankTopK(state, std::move(complete), &response);
+  const uint64_t evaluated =
+      state->evaluated.load(std::memory_order_relaxed);
+  const uint64_t slots = static_cast<uint64_t>(num_fac) * n;
+  metrics_.AddTopKPruneWork(evaluated, slots - evaluated, state->rounds);
   metrics_.RecordQueryStats(total);
   state->promise.set_value(std::move(response));
 }

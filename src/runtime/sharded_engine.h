@@ -27,9 +27,36 @@
 //     segmented mode, all segments of a trajectory) stay within one shard,
 //     so no cross-shard deduplication is needed. Per-shard top-k lists
 //     alone would NOT compose — a global winner may rank low in every
-//     shard — so the gather merges full per-facility value vectors.
+//     shard — so the gather works with per-facility values, not lists.
 //     For integer-valued service models (point counts, endpoint counts)
 //     the gathered sums are exactly the unsharded values, bit for bit.
+//   * Top-k is BOUND-AND-PRUNE, not an exhaustive per-facility sweep
+//     (two rounds; see GatherState in sharded_engine.cc):
+//       round 1  every shard computes a cheap aggregate upper bound
+//                UB_s(f) for every facility (TQTree::UpperBound — node
+//                aggregates only, no entry ever scanned), then walks its
+//                facilities in descending-bound order with an incremental
+//                next-best cursor, exactly evaluating until the cursor's
+//                bound falls below the running threshold — the larger of
+//                the shard's own k-th exact value and the global floor
+//                other shards have already published.
+//       gather   the coordinator (the last round-1 task) sums bounds
+//                B(f) = Σ_s UB_s(f) and partial exact values
+//                L(f) = Σ_{s evaluated f} SO_s(f) ≤ SO(U, f), takes the
+//                running k-th threshold τ = k-th largest L, and keeps as
+//                candidates only facilities with B(f) ≥ τ — every pruned
+//                facility satisfies SO(U, f) ≤ B(f) < τ ≤ k-th exact
+//                value, so it cannot reach the answer even on a tie.
+//       round 2  shards refine just the candidates they have not already
+//                evaluated; the final merge ranks fully-evaluated
+//                facilities with the usual (value desc, id asc) order.
+//     Answers are bit-identical to the exhaustive gather: the winners'
+//     values are the same per-shard sums in the same shard order, and the
+//     pruned facilities are provably strictly below the k-th value.
+//     Cache keys are unchanged; only hit accounting moves — a top-k
+//     response reports cache_hit solely for memoised whole-answer hits,
+//     while per-(facility, shard) hits inside the rounds still count in
+//     the hit/miss metrics.
 #ifndef TQCOVER_RUNTIME_SHARDED_ENGINE_H_
 #define TQCOVER_RUNTIME_SHARDED_ENGINE_H_
 
@@ -56,6 +83,13 @@ struct ShardedEngineOptions {
   /// Total service-value cache entries across lock shards; 0 disables.
   size_t cache_capacity = 4096;
   size_t cache_shards = 8;
+  /// Top-k protocol: bound-and-prune (default) or the exhaustive per-shard
+  /// facility sweep. Both return bit-identical answers; the switch exists
+  /// for A/B measurement and cross-checking tests.
+  bool prune_topk = true;
+  /// TQ-tree descent budget of the per-facility bound sweep
+  /// (TQTree::UpperBound): deeper = tighter bounds, more nodes visited.
+  int bound_levels = 4;
   /// TQ-tree construction parameters (the service model lives here).
   TQTreeOptions tree;
 };
@@ -136,6 +170,25 @@ class ShardedEngine {
 
   void ExecuteShard(const std::shared_ptr<GatherState>& state, size_t shard);
   void Gather(GatherState* state);
+  /// Round 1 of the pruned top-k protocol: one shard's bound sweep plus
+  /// cursor-driven exact evaluation of its candidate frontier.
+  void ExecuteTopKBoundRound(const std::shared_ptr<GatherState>& state,
+                             size_t shard);
+  /// Round 2: one shard refines the coordinator's surviving candidates.
+  void ExecuteTopKRefineRound(const std::shared_ptr<GatherState>& state,
+                              size_t shard);
+  /// Coordinator: runs in the last round-1 task; computes the global k-th
+  /// threshold, selects candidates, and either finishes or fans out round 2.
+  void CoordinateTopK(const std::shared_ptr<GatherState>& state);
+  /// Final merge of a pruned top-k query; fulfils the promise.
+  void FinishTopK(GatherState* state);
+  /// The ranking-and-memoisation tail both top-k paths share: sorts
+  /// `complete` (exact per-facility totals) by (value desc, id asc),
+  /// truncates to k, and memoises under the snapshot's generation vector.
+  /// Keeping it in one place keeps the pruned path provably bit-identical
+  /// to the exhaustive one.
+  void RankTopK(GatherState* state, std::vector<RankedFacility> complete,
+                QueryResponse* response);
   /// Cache-assisted SO(U_s, f) on one shard's frozen snapshot.
   double ShardServiceValue(const ShardState& shard,
                            const FacilityCatalog& catalog, FacilityId f,

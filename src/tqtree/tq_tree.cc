@@ -5,7 +5,10 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "geom/distance.h"
+#include "service/stop_grid.h"
 #include "tqtree/aggregates.h"
+#include "tqtree/point_raster.h"
 
 namespace tq {
 
@@ -141,6 +144,12 @@ std::unique_ptr<TQTree> TQTree::Fork(const TrajectorySet* users) {
   // state. Readers of this (frozen, published) tree never look at epochs.
   epoch_ = NewEpoch();
   fork->epoch_ = NewEpoch();
+  // The point-mass raster is shared the same way: neither side owns it
+  // after the fork, so the first Insert/Remove on either copies it and
+  // retained snapshots keep the mass their bounds were computed from.
+  fork->raster_ = raster_;
+  fork->raster_owned_ = false;
+  raster_owned_ = false;
   if (fork->prune_mode_ != prune_mode_) {
     // The extended user set changed the soundness-preserving prune mode
     // (e.g. a longer trajectory appeared); every shared z-index was built
@@ -159,6 +168,7 @@ void TQTree::BulkBuild() {
 
 void TQTree::Insert(uint32_t traj_id) {
   TQ_CHECK(traj_id < users_->size());
+  RasterApply(traj_id, 1.0);
   if (options_.mode == TrajMode::kWhole) {
     InsertEntry(MakeWholeEntry(*users_, traj_id, options_.model));
   } else {
@@ -318,6 +328,83 @@ int32_t TQTree::ContainingNode(const Rect& r) const {
   }
 }
 
+double TQTree::UpperBound(const StopGrid& grid, int max_levels,
+                          size_t* nodes_visited) const {
+  const Rect& embr = grid.embr();
+  const int32_t q0 = ContainingNode(embr);
+  const ZIndex::Corridor corridor{grid.stops(), grid.psi(), embr};
+  double bound = 0.0;
+  size_t visited = 0;
+
+  // A node's own list, bounded at z-node granularity when the node has a
+  // built z-index: Σ bucket ub over buckets the corridor can geometrically
+  // reach (ZIndex::UpperBound). This is what gives the bound discriminating
+  // power on real data — long-span units pool in the upper nodes' lists,
+  // where `local_ub` alone would charge every facility the full pool.
+  const auto local_bound = [&corridor](const TQNode& n) {
+    if (n.entries.empty()) return 0.0;
+    if (n.zindex != nullptr && !n.zindex_dirty) {
+      return n.zindex->UpperBound(corridor, n.entries);
+    }
+    return n.local_ub;
+  };
+
+  // Proper ancestors of q0 can store units whose MBR spills outside their
+  // children yet still reaches into the EMBR — except under the two-point +
+  // kStartEnd argument (see TopKFacilitiesTQ), where such a unit provably
+  // scores zero and the whole path can be skipped.
+  if (!(two_point_units() && prune_mode_ == ZPruneMode::kStartEnd)) {
+    for (const int32_t a : PathTo(q0)) {
+      if (a == q0) continue;
+      ++visited;
+      bound += local_bound(node(a));
+    }
+  }
+
+  struct Frame {
+    int32_t idx;
+    int level;
+  };
+  std::vector<Frame> stack{{q0, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const TQNode& n = node(frame.idx);
+    ++visited;
+    if (n.sub <= 0.0) continue;  // nothing stored below
+    // A unit can score only if one of its points is within ψ of a stop,
+    // and every point of every unit in n's subtree lies inside n.rect.
+    if (!corridor.Reaches(n.rect)) continue;
+    bound += local_bound(n);
+    if (n.IsLeaf()) continue;
+    if (frame.level >= max_levels) {
+      // Descent budget exhausted: close the subtree with the children's
+      // aggregate bounds (skipping unreachable quadrants) instead of
+      // n.sub, so the local part above still benefits from the z-node
+      // refinement.
+      for (int q = 0; q < 4; ++q) {
+        const TQNode& cn = node(n.first_child + q);
+        ++visited;
+        if (cn.sub > 0.0 && corridor.Reaches(cn.rect)) bound += cn.sub;
+      }
+      continue;
+    }
+    for (int q = 0; q < 4; ++q) {
+      stack.push_back(Frame{n.first_child + q, frame.level + 1});
+    }
+  }
+  // The point-mass raster bounds the same quantity from the opposite side
+  // (per-point value caps near the stops, unit structure forgotten); each
+  // bound is independently sound, so their min is too. On roaming-unit
+  // workloads the raster is the discriminating one.
+  if (raster_ != nullptr) {
+    bound = std::min(bound,
+                     raster_->MassNearStops(corridor.stops, corridor.psi));
+  }
+  if (nodes_visited != nullptr) *nodes_visited += visited;
+  return bound;
+}
+
 std::vector<int32_t> TQTree::PathTo(int32_t idx) const {
   // Rebuild the path by re-descending toward idx's rectangle centre.
   std::vector<int32_t> path;
@@ -351,13 +438,49 @@ void TQTree::BuildAllZIndexes() {
   for (size_t i = 0; i < num_nodes_; ++i) {
     (void)zindex(static_cast<int32_t>(i));
   }
+  // Freezing also materialises the point-mass raster (first freeze, or a
+  // deserialised tree): forks inherit it, so steady-state publishes only
+  // pay the copy-on-write path in RasterApply.
+  if (raster_ == nullptr && options_.bound_raster_resolution > 0) {
+    BuildRaster();
+  }
+}
+
+void TQTree::BuildRaster() {
+  raster_ = std::make_shared<PointRaster>(
+      world_, options_.bound_raster_resolution);
+  raster_owned_ = true;
+  // The indexed trajectory set is whatever the node lists currently hold
+  // (bulk build indexes every user; Remove de-indexes): walk the entries,
+  // depositing each trajectory once however many segments it spread into.
+  std::vector<uint8_t> seen(users_->size(), 0);
+  for (size_t i = 0; i < num_nodes_; ++i) {
+    for (const TrajEntry& e : node(static_cast<int32_t>(i)).entries) {
+      if (seen[e.traj_id]) continue;
+      seen[e.traj_id] = 1;
+      raster_->AddTrajectory(users_->points(e.traj_id), options_.model, 1.0);
+    }
+  }
+}
+
+void TQTree::RasterApply(uint32_t traj_id, double sign) {
+  if (raster_ == nullptr) return;
+  if (!raster_owned_) {
+    // Copy-on-write: the raster is shared with a forked snapshot whose
+    // bounds must stay frozen.
+    raster_ = std::make_shared<PointRaster>(*raster_);
+    raster_owned_ = true;
+  }
+  raster_->AddTrajectory(users_->points(traj_id), options_.model, sign);
 }
 
 bool TQTree::Remove(uint32_t traj_id) {
   TQ_CHECK(traj_id < users_->size());
   if (options_.mode == TrajMode::kWhole || users_->NumPoints(traj_id) < 2) {
     const TrajEntry e = MakeWholeEntry(*users_, traj_id, options_.model);
-    return RemoveUnit(traj_id, e.seg_index, e.mbr, e.ub, e.agg);
+    if (!RemoveUnit(traj_id, e.seg_index, e.mbr, e.ub, e.agg)) return false;
+    RasterApply(traj_id, -1.0);
+    return true;
   }
   bool all = true;
   const size_t n = users_->NumPoints(traj_id);
@@ -365,6 +488,10 @@ bool TQTree::Remove(uint32_t traj_id) {
     const TrajEntry e = MakeSegmentEntry(*users_, traj_id, s, options_.model);
     all = RemoveUnit(traj_id, s, e.mbr, e.ub, e.agg) && all;
   }
+  // Withdraw the raster mass only on a complete removal: leftover segments
+  // keep their deposits, which can only overstate (never understate) the
+  // bound.
+  if (all) RasterApply(traj_id, -1.0);
   return all;
 }
 

@@ -123,14 +123,7 @@ void ZIndex::ForEachCandidate(const Corridor& corridor,
     // entries against the cheap EMBR rectangle.
     for (const Bucket& b : buckets_) {
       if (!b.units_mbr.Intersects(embr)) continue;
-      bool near = false;
-      for (const Point& s : corridor.stops) {
-        if (DiskIntersectsRect(s, corridor.psi, b.units_mbr)) {
-          near = true;
-          break;
-        }
-      }
-      if (!near) continue;
+      if (!corridor.Reaches(b.units_mbr)) continue;
       if (stats != nullptr) stats->buckets_visited++;
       for (uint32_t i = b.begin; i < b.end; ++i) {
         if (stats != nullptr) stats->entries_scanned++;
@@ -227,6 +220,35 @@ void ZIndex::ForEachCandidate(const Corridor& corridor,
       }
     }
   }
+}
+
+double ZIndex::UpperBound(const Corridor& corridor,
+                          std::span<const TrajEntry> entries) const {
+  double bound = 0.0;
+  for (const auto& [entry_index, mbr] : outliers_) {
+    if (corridor.Reaches(mbr)) bound += entries[entry_index].ub;
+  }
+  for (const Bucket& b : buckets_) {
+    if (b.ub <= 0.0) continue;
+    bool near = false;
+    switch (prune_mode_) {
+      case ZPruneMode::kMbr:
+        // Interior points may be served: any point of any member unit lies
+        // inside the bucket's union MBR.
+        near = corridor.Reaches(b.units_mbr);
+        break;
+      case ZPruneMode::kStartOrEnd:
+        // Only unit endpoints can be served; either end may score alone.
+        near = corridor.Reaches(b.start_mbr) || corridor.Reaches(b.end_mbr);
+        break;
+      case ZPruneMode::kStartEnd:
+        // A unit scores only with BOTH endpoints within ψ of stops.
+        near = corridor.Reaches(b.start_mbr) && corridor.Reaches(b.end_mbr);
+        break;
+    }
+    if (near) bound += b.ub;
+  }
+  return bound;
 }
 
 }  // namespace tq

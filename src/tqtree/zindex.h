@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "geom/distance.h"
 #include "geom/rect.h"
 #include "service/models.h"
 #include "tqtree/entry.h"
@@ -80,6 +81,17 @@ class ZIndex {
     std::span<const Point> stops;
     double psi = 0.0;
     Rect embr;
+
+    /// True iff some stop's ψ-disk intersects `r` — THE reachability
+    /// predicate every pruning layer shares (zReduce bucket filtering,
+    /// the z-node bound, the tree bound), so bound and evaluator can
+    /// never diverge geometrically.
+    bool Reaches(const Rect& r) const {
+      for (const Point& s : stops) {
+        if (DiskIntersectsRect(s, psi, r)) return true;
+      }
+      return false;
+    }
   };
 
   /// Invokes `fn` for every entry that survives zReduce pruning against the
@@ -96,6 +108,19 @@ class ZIndex {
                         ReduceStats* stats = nullptr,
                         std::optional<ZPruneMode> mode_override =
                             std::nullopt) const;
+
+  /// Aggregate upper bound on the service this node's list can contribute
+  /// to the corridor's facility: Σ bucket `ub` over z-nodes the corridor
+  /// can reach, plus reachable outliers. A bucket is reachable per the
+  /// prune mode's own geometry — units MBR (kMbr), start OR end MBR
+  /// (kStartOrEnd), start AND end MBRs (kStartEnd) within ψ of a stop —
+  /// so a skipped bucket provably holds no serveable entry, by the same
+  /// argument that makes zReduce exact. No entry is ever inspected:
+  /// cost is O(buckets × stops). `entries` is the node's entry list
+  /// (outlier ubs live there). Powers TQTree::UpperBound, which powers
+  /// the sharded engine's bound-and-prune top-k.
+  double UpperBound(const Corridor& corridor,
+                    std::span<const TrajEntry> entries) const;
 
  private:
   struct EntryRef {

@@ -71,6 +71,8 @@ int Usage() {
       "           [--queries 1000] [--topk-every 0] [--k 8] [--psi 200]\n"
       "           [--scenario ...] [--beta 64] [--cache 4096]\n"
       "           [--updates 0] [--update-size 64] [--update-batch 1]\n"
+      "           [--prune 1]   # sharded top-k: bound-and-prune (0 =\n"
+      "                         # exhaustive per-shard sweeps, same answers)\n"
       "files: .bin (packed binary) or anything else (CSV x1,y1;x2,y2;...)\n");
   return 2;
 }
@@ -314,6 +316,17 @@ int RunServeLoop(EngineT& engine, tq::TrajectorySet mirror,
               static_cast<unsigned long long>(m.cache_hits),
               static_cast<unsigned long long>(m.cache_misses),
               100.0 * m.CacheHitRate());
+  if (m.facilities_evaluated + m.facilities_pruned > 0) {
+    std::printf(
+        "top-k pruning: %llu facility-shard slots evaluated, %llu pruned "
+        "(%.1f%% skipped) over %llu rounds\n",
+        static_cast<unsigned long long>(m.facilities_evaluated),
+        static_cast<unsigned long long>(m.facilities_pruned),
+        100.0 * static_cast<double>(m.facilities_pruned) /
+            static_cast<double>(m.facilities_evaluated +
+                                m.facilities_pruned),
+        static_cast<unsigned long long>(m.prune_rounds));
+  }
   std::printf("# metrics: %s\n", m.ToJson().c_str());
   return 0;
 }
@@ -353,12 +366,14 @@ int CmdServe(const Args& args) {
     options.num_shards = num_shards;
     options.num_threads = num_threads;
     options.cache_capacity = cache_capacity;
+    options.prune_topk = args.GetSize("prune", 1) != 0;
     options.tree = tree;
     tq::runtime::ShardedEngine engine(std::move(users),
                                       std::move(facilities), options);
     std::printf("sharded engine up: %zu users over %zu shards, "
-                "%zu facilities, %zu threads (built in %.3f s)\n",
+                "%zu facilities, %zu threads, top-k %s (built in %.3f s)\n",
                 num_users, engine.num_shards(), num_facilities, num_threads,
+                options.prune_topk ? "bound-and-prune" : "exhaustive",
                 build_timer.ElapsedSeconds());
     return RunServeLoop(engine, std::move(mirror), args);
   }

@@ -1,0 +1,201 @@
+// Network front-end throughput on the NYF preset: requests/sec and
+// round-trip latency of the epoll TCP server (src/net/server.h) over the
+// sharded engine, driven from loopback by C concurrent client connections
+// sending sum-batch frames of B queries each.
+//
+// Three series per (connections, batch) cell:
+//   * rps     — individual queries/sec with synchronous round-trips (each
+//               client waits for a frame's response before the next frame);
+//               batch size is the amortization lever.
+//   * p50/p99 — per-frame round-trip latency across every client.
+//   * pipe_rps — the async-batch client API: every client pipelines all its
+//               frames before draining responses, so the whole run costs
+//               one round-trip of latency. Upper bound on what the wire
+//               format + epoll loop can move.
+//
+// The result cache is enabled and warmed (the serving steady state: the
+// measurement isolates FRONT-END cost — framing, dispatch, fan-in,
+// syscalls — not tree traversal). Emits "# json: net_throughput"; CI gates
+// on requests/sec staying positive at batch 16 so the front-end cannot
+// silently stop serving. Honors REPRO_SCALE / REPRO_FULL (bench_util.h).
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "runtime/sharded_engine.h"
+
+namespace {
+
+using tq::net::NetClient;
+using tq::net::NetRequest;
+using tq::net::NetResponse;
+using tq::net::NetServer;
+using tq::net::NetServerOptions;
+
+struct NetResult {
+  size_t connections = 0;
+  size_t batch = 0;
+  size_t queries = 0;
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double pipe_rps = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  const auto env = tq::bench::BenchEnv::FromEnv();
+  const auto num_users = static_cast<size_t>(212751 * env.scale);
+  tq::TrajectorySet users = tq::presets::NyfCheckins(num_users);
+  tq::TrajectorySet routes =
+      tq::presets::NyBusRoutes(env.DefaultFacilities(), env.DefaultStops());
+  const size_t num_fac = routes.size();
+
+  tq::runtime::ShardedEngineOptions options;
+  options.num_shards = 4;
+  options.num_threads = 4;
+  options.cache_capacity = 4096;
+  options.tree.beta = env.DefaultBeta();
+  options.tree.model = tq::ServiceModel::PointCount(env.DefaultPsi());
+  tq::runtime::ShardedEngine engine(std::move(users), std::move(routes),
+                                    options);
+  NetServer server(&engine, NetServerOptions{});  // port 0: ephemeral
+  const tq::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  tq::bench::Banner("Net throughput — loopback, sum-batch frames");
+  std::printf("users=%zu facilities=%zu shards=%zu threads=%zu port=%u\n",
+              num_users, num_fac, options.num_shards, options.num_threads,
+              server.port());
+
+  // Warm the result cache once so every measured run hits the serving
+  // steady state (per-shard entries for every facility).
+  {
+    NetClient warm;
+    TQ_CHECK(warm.Connect("127.0.0.1", server.port()).ok());
+    std::vector<tq::FacilityId> all(num_fac);
+    for (uint32_t f = 0; f < num_fac; ++f) all[f] = f;
+    NetResponse r;
+    TQ_CHECK(warm.Sum(all, &r).ok() && r.status.ok());
+  }
+
+  // Frames per client, scaled so every cell issues a comparable number of
+  // queries regardless of batch size.
+  const size_t target_queries =
+      std::max<size_t>(4 * num_fac, env.reps * num_fac);
+
+  tq::bench::PrintSeriesHeader({"rps", "p50_ms", "p99_ms", "pipe_rps"});
+  std::vector<NetResult> results;
+  for (const size_t connections : {1u, 4u, 8u}) {
+    for (const size_t batch : {1u, 16u, 64u}) {
+      NetResult r;
+      r.connections = connections;
+      r.batch = batch;
+      const size_t frames_per_client =
+          std::max<size_t>(8, target_queries / (connections * batch));
+      r.queries = frames_per_client * connections * batch;
+
+      // Synchronous round-trips: one frame in flight per connection.
+      std::vector<std::vector<double>> latencies(connections);
+      {
+        std::vector<std::thread> clients;
+        tq::Timer timer;
+        for (size_t c = 0; c < connections; ++c) {
+          clients.emplace_back([&, c]() {
+            NetClient client;
+            TQ_CHECK(client.Connect("127.0.0.1", server.port()).ok());
+            std::vector<tq::FacilityId> ids(batch);
+            latencies[c].reserve(frames_per_client);
+            for (size_t i = 0; i < frames_per_client; ++i) {
+              for (size_t b = 0; b < batch; ++b) {
+                ids[b] = static_cast<tq::FacilityId>(
+                    (c + i * batch + b) % num_fac);
+              }
+              NetResponse resp;
+              tq::Timer frame_timer;
+              TQ_CHECK(client.Sum(ids, &resp).ok() && resp.status.ok());
+              latencies[c].push_back(frame_timer.ElapsedSeconds() * 1e3);
+              TQ_CHECK(resp.sums.size() == batch);
+            }
+          });
+        }
+        for (auto& t : clients) t.join();
+        r.rps = static_cast<double>(r.queries) / timer.ElapsedSeconds();
+      }
+      std::vector<double> lat;
+      for (const auto& per_client : latencies) {
+        lat.insert(lat.end(), per_client.begin(), per_client.end());
+      }
+      std::sort(lat.begin(), lat.end());
+      r.p50_ms = lat[lat.size() / 2];
+      r.p99_ms = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+
+      // Pipelined: queue every frame, flush once, drain in order.
+      {
+        std::vector<std::thread> clients;
+        tq::Timer timer;
+        for (size_t c = 0; c < connections; ++c) {
+          clients.emplace_back([&, c]() {
+            NetClient client;
+            TQ_CHECK(client.Connect("127.0.0.1", server.port()).ok());
+            std::vector<tq::FacilityId> ids(batch);
+            for (size_t i = 0; i < frames_per_client; ++i) {
+              for (size_t b = 0; b < batch; ++b) {
+                ids[b] = static_cast<tq::FacilityId>(
+                    (c + i * batch + b) % num_fac);
+              }
+              TQ_CHECK(client.Send(NetRequest::Sum(ids)).ok());
+            }
+            TQ_CHECK(client.Flush().ok());
+            for (size_t i = 0; i < frames_per_client; ++i) {
+              NetResponse resp;
+              TQ_CHECK(client.Receive(&resp).ok() && resp.status.ok());
+            }
+          });
+        }
+        for (auto& t : clients) t.join();
+        r.pipe_rps = static_cast<double>(r.queries) / timer.ElapsedSeconds();
+      }
+
+      results.push_back(r);
+      char label[48];
+      std::snprintf(label, sizeof(label), "conns=%zu,batch=%zu", connections,
+                    batch);
+      tq::bench::PrintTimeRow(label, {"rps", "p50_ms", "p99_ms", "pipe_rps"},
+                              {r.rps, r.p50_ms, r.p99_ms, r.pipe_rps});
+    }
+  }
+  server.Stop();
+
+  const tq::runtime::MetricsView m = engine.metrics().Read();
+  std::printf("\nserver totals: %llu connections, %llu frames decoded, "
+              "%llu bytes in, %llu bytes out\n",
+              static_cast<unsigned long long>(m.net_connections),
+              static_cast<unsigned long long>(m.net_requests_decoded),
+              static_cast<unsigned long long>(m.net_bytes_in),
+              static_cast<unsigned long long>(m.net_bytes_out));
+
+  std::printf("# json: {\"bench\":\"net_throughput\",\"preset\":\"nyf\","
+              "\"users\":%zu,\"facilities\":%zu,\"shards\":%zu,"
+              "\"threads\":%zu,\"results\":[",
+              num_users, num_fac, options.num_shards, options.num_threads);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const NetResult& r = results[i];
+    std::printf(
+        "%s{\"connections\":%zu,\"batch\":%zu,\"queries\":%zu,"
+        "\"requests_per_sec\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
+        "\"pipelined_requests_per_sec\":%.1f}",
+        i == 0 ? "" : ",", r.connections, r.batch, r.queries, r.rps,
+        r.p50_ms, r.p99_ms, r.pipe_rps);
+  }
+  std::printf("]}\n");
+  return 0;
+}

@@ -309,6 +309,10 @@ int main() {
     pruned_options.num_threads = 4;
     pruned_options.cache_capacity = 0;
     pruned_options.prune_topk = true;
+    // This series measures the bound-and-prune PROTOCOL itself, including
+    // where it degrades (k=100 ≈ |F|) — pin the adaptive large-k skip off
+    // so the row does not silently measure the exhaustive path instead.
+    pruned_options.prune_skip_ratio = 2.0;
     pruned_options.tree.beta = env.DefaultBeta();
     pruned_options.tree.model = model;
     ShardedEngine pruned(users, routes, pruned_options);

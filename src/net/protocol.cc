@@ -1,0 +1,377 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace tq::net {
+namespace {
+
+// Fixed-width little-endian primitives. memcpy keeps the accesses aligned-
+// agnostic; on LE hosts (everything we target) the byte swap is a no-op, and
+// the explicit shifts keep the format well-defined elsewhere.
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked sequential reader over a payload. Every Get returns false
+/// once the payload is exhausted; callers bail out on the first failure, so
+/// a truncated frame can never read out of bounds.
+class Reader {
+ public:
+  explicit Reader(std::string_view payload) : data_(payload) {}
+
+  bool GetU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    uint32_t lo = 0, hi = 0;
+    if (!GetU32(&lo) || !GetU32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+  bool GetF64(double* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool GetBytes(size_t n, std::string* out) {
+    if (pos_ + n > data_.size() || pos_ + n < pos_) return false;
+    out->assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  /// A count field must leave at least `min_entry_bytes × count` bytes in
+  /// the payload — rejects absurd counts before any allocation.
+  bool Plausible(uint32_t count, size_t min_entry_bytes) const {
+    return static_cast<uint64_t>(count) * min_entry_bytes <=
+           data_.size() - pos_;
+  }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what +
+                                 " payload");
+}
+
+StatusCode CodeFromWire(uint8_t raw) {
+  // Unknown codes (a newer peer) collapse to kInternal rather than UB.
+  return raw > static_cast<uint8_t>(StatusCode::kInternal)
+             ? StatusCode::kInternal
+             : static_cast<StatusCode>(raw);
+}
+
+/// Replaces the placeholder length header at `frame_start` once the payload
+/// is fully appended.
+void PatchLength(std::string* out, size_t frame_start) {
+  const size_t payload = out->size() - frame_start - kFrameHeaderBytes;
+  const auto v = static_cast<uint32_t>(payload);
+  (*out)[frame_start + 0] = static_cast<char>(v);
+  (*out)[frame_start + 1] = static_cast<char>(v >> 8);
+  (*out)[frame_start + 2] = static_cast<char>(v >> 16);
+  (*out)[frame_start + 3] = static_cast<char>(v >> 24);
+}
+
+}  // namespace
+
+void EncodeRequest(const NetRequest& request, std::string* out) {
+  const size_t frame_start = out->size();
+  PutU32(out, 0);  // length, patched below
+  PutU8(out, kProtocolVersion);
+  PutU8(out, static_cast<uint8_t>(request.type));
+  PutF64(out, request.psi);
+  switch (request.type) {
+    case MessageType::kSum:
+      PutU32(out, static_cast<uint32_t>(request.facilities.size()));
+      for (const FacilityId f : request.facilities) PutU32(out, f);
+      break;
+    case MessageType::kTopK:
+      PutU32(out, static_cast<uint32_t>(request.ks.size()));
+      for (const uint32_t k : request.ks) PutU32(out, k);
+      break;
+    case MessageType::kUpdate:
+      PutU32(out, static_cast<uint32_t>(request.inserts.size()));
+      for (const auto& traj : request.inserts) {
+        PutU32(out, static_cast<uint32_t>(traj.size()));
+        for (const Point& p : traj) {
+          PutF64(out, p.x);
+          PutF64(out, p.y);
+        }
+      }
+      PutU32(out, static_cast<uint32_t>(request.removes.size()));
+      for (const uint32_t id : request.removes) PutU32(out, id);
+      break;
+    case MessageType::kError:
+      break;  // never encoded as a request; empty body
+  }
+  PatchLength(out, frame_start);
+}
+
+void EncodeResponse(const NetResponse& response, std::string* out) {
+  const size_t frame_start = out->size();
+  PutU32(out, 0);  // length, patched below
+  PutU8(out, kProtocolVersion);
+  PutU8(out, static_cast<uint8_t>(response.type));
+  PutU8(out, static_cast<uint8_t>(response.status.code()));
+  const std::string& msg = response.status.message();
+  PutU32(out, static_cast<uint32_t>(msg.size()));
+  out->append(msg);
+  PutU64(out, response.snapshot_version);
+  if (response.status.ok()) {
+    switch (response.type) {
+      case MessageType::kSum:
+        PutU32(out, static_cast<uint32_t>(response.sums.size()));
+        for (const SumResult& r : response.sums) {
+          PutU8(out, static_cast<uint8_t>(r.code));
+          PutF64(out, r.value);
+        }
+        break;
+      case MessageType::kTopK:
+        PutU32(out, static_cast<uint32_t>(response.topks.size()));
+        for (const RankedResult& r : response.topks) {
+          PutU8(out, static_cast<uint8_t>(r.code));
+          PutU32(out, static_cast<uint32_t>(r.ranked.size()));
+          for (const RankedFacility& rf : r.ranked) {
+            PutU32(out, rf.id);
+            PutF64(out, rf.value);
+          }
+        }
+        break;
+      case MessageType::kUpdate:
+        PutU32(out, static_cast<uint32_t>(response.shard_generations.size()));
+        for (const uint64_t g : response.shard_generations) PutU64(out, g);
+        PutU32(out, static_cast<uint32_t>(response.assigned_ids.size()));
+        for (const uint32_t id : response.assigned_ids) PutU32(out, id);
+        break;
+      case MessageType::kError:
+        break;  // status carries everything
+    }
+  }
+  PatchLength(out, frame_start);
+}
+
+Status DecodeRequest(std::string_view payload, NetRequest* out) {
+  Reader r(payload);
+  uint8_t version = 0, type = 0;
+  if (!r.GetU8(&version) || !r.GetU8(&type) || !r.GetF64(&out->psi)) {
+    return Truncated("request");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("protocol version " +
+                                   std::to_string(version) +
+                                   " not supported (server speaks " +
+                                   std::to_string(kProtocolVersion) + ")");
+  }
+  uint32_t count = 0;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kSum: {
+      out->type = MessageType::kSum;
+      if (!r.GetU32(&count) || !r.Plausible(count, 4)) {
+        return Truncated("sum request");
+      }
+      out->facilities.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetU32(&out->facilities[i])) return Truncated("sum request");
+      }
+      break;
+    }
+    case MessageType::kTopK: {
+      out->type = MessageType::kTopK;
+      if (!r.GetU32(&count) || !r.Plausible(count, 4)) {
+        return Truncated("topk request");
+      }
+      out->ks.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetU32(&out->ks[i])) return Truncated("topk request");
+      }
+      break;
+    }
+    case MessageType::kUpdate: {
+      out->type = MessageType::kUpdate;
+      if (!r.GetU32(&count) || !r.Plausible(count, 4)) {
+        return Truncated("update request");
+      }
+      out->inserts.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t num_points = 0;
+        if (!r.GetU32(&num_points) || !r.Plausible(num_points, 16)) {
+          return Truncated("update request");
+        }
+        // Trajectories are non-empty by library invariant (routing keys off
+        // the first point); reject here so no wire bytes can reach the
+        // engine's checks.
+        if (num_points == 0) {
+          return Status::InvalidArgument("empty insert trajectory");
+        }
+        out->inserts[i].resize(num_points);
+        for (uint32_t p = 0; p < num_points; ++p) {
+          Point& pt = out->inserts[i][p];
+          if (!r.GetF64(&pt.x) || !r.GetF64(&pt.y)) {
+            return Truncated("update request");
+          }
+        }
+      }
+      if (!r.GetU32(&count) || !r.Plausible(count, 4)) {
+        return Truncated("update request");
+      }
+      out->removes.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetU32(&out->removes[i])) return Truncated("update request");
+      }
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown request type " +
+                                     std::to_string(type));
+  }
+  if (!r.Done()) return Status::InvalidArgument("trailing request bytes");
+  return Status::OK();
+}
+
+Status DecodeResponse(std::string_view payload, NetResponse* out) {
+  Reader r(payload);
+  uint8_t version = 0, type = 0, code = 0;
+  uint32_t msg_len = 0;
+  std::string msg;
+  if (!r.GetU8(&version) || !r.GetU8(&type) || !r.GetU8(&code) ||
+      !r.GetU32(&msg_len) || !r.GetBytes(msg_len, &msg) ||
+      !r.GetU64(&out->snapshot_version)) {
+    return Truncated("response");
+  }
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("protocol version " +
+                                   std::to_string(version) +
+                                   " not supported");
+  }
+  if (type > static_cast<uint8_t>(MessageType::kUpdate)) {
+    return Status::InvalidArgument("unknown response type " +
+                                   std::to_string(type));
+  }
+  out->type = static_cast<MessageType>(type);
+  out->status = code == 0 ? Status::OK()
+                          : Status(CodeFromWire(code), std::move(msg));
+  if (!out->status.ok()) {
+    if (!r.Done()) return Status::InvalidArgument("trailing response bytes");
+    return Status::OK();  // transport fine; the frame carries the error
+  }
+  uint32_t count = 0;
+  switch (out->type) {
+    case MessageType::kSum: {
+      if (!r.GetU32(&count) || !r.Plausible(count, 9)) {
+        return Truncated("sum response");
+      }
+      out->sums.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t c = 0;
+        if (!r.GetU8(&c) || !r.GetF64(&out->sums[i].value)) {
+          return Truncated("sum response");
+        }
+        out->sums[i].code = CodeFromWire(c);
+      }
+      break;
+    }
+    case MessageType::kTopK: {
+      if (!r.GetU32(&count) || !r.Plausible(count, 5)) {
+        return Truncated("topk response");
+      }
+      out->topks.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t c = 0;
+        uint32_t n = 0;
+        if (!r.GetU8(&c) || !r.GetU32(&n) || !r.Plausible(n, 12)) {
+          return Truncated("topk response");
+        }
+        out->topks[i].code = CodeFromWire(c);
+        out->topks[i].ranked.resize(n);
+        for (uint32_t j = 0; j < n; ++j) {
+          RankedFacility& rf = out->topks[i].ranked[j];
+          if (!r.GetU32(&rf.id) || !r.GetF64(&rf.value)) {
+            return Truncated("topk response");
+          }
+        }
+      }
+      break;
+    }
+    case MessageType::kUpdate: {
+      if (!r.GetU32(&count) || !r.Plausible(count, 8)) {
+        return Truncated("update response");
+      }
+      out->shard_generations.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetU64(&out->shard_generations[i])) {
+          return Truncated("update response");
+        }
+      }
+      if (!r.GetU32(&count) || !r.Plausible(count, 4)) {
+        return Truncated("update response");
+      }
+      out->assigned_ids.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetU32(&out->assigned_ids[i])) {
+          return Truncated("update response");
+        }
+      }
+      break;
+    }
+    case MessageType::kError:
+      break;  // ok-status error frame: nothing further
+  }
+  if (!r.Done()) return Status::InvalidArgument("trailing response bytes");
+  return Status::OK();
+}
+
+FrameAssembler::Result FrameAssembler::Next(std::string* payload) {
+  // Compact the consumed prefix opportunistically so a long-lived pipelined
+  // connection does not grow the buffer without bound.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10) && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return Result::kNeedMore;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+  }
+  if (len == 0 || len > max_frame_bytes_) return Result::kBad;
+  if (buf_.size() - pos_ - kFrameHeaderBytes < len) return Result::kNeedMore;
+  payload->assign(buf_, pos_ + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  return Result::kFrame;
+}
+
+}  // namespace tq::net

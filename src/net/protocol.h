@@ -1,0 +1,155 @@
+// Wire protocol of the network front-end: compact length-prefixed binary
+// frames carrying BATCHES of requests, so one round-trip amortizes syscall
+// and dispatch cost over many queries (the cctools catalog/worker protocol
+// is the shape exemplar; the encoding here is fixed-width little-endian
+// instead of text).
+//
+//   frame    := [u32 length][payload]         length = payload bytes
+//   request  := version type ψ body           (client → server)
+//   response := version type status version64 body   (server → client)
+//
+// One request frame yields exactly one response frame, and responses are
+// written in request-arrival order per connection (pipelining: a client may
+// send many frames before reading any response). Full byte layout, error
+// codes and versioning rules are documented in docs/PROTOCOL.md — keep the
+// two in sync.
+//
+// Everything here is transport-free: encode/decode over byte buffers, plus
+// the incremental FrameAssembler both sides use to split a TCP stream into
+// payloads. Decoders are bounds-checked and never trust a length field
+// beyond the configured frame cap, so a malformed or hostile peer costs at
+// most one frame's allocation.
+#ifndef TQCOVER_NET_PROTOCOL_H_
+#define TQCOVER_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/point.h"
+#include "query/topk.h"
+#include "service/facility_index.h"
+
+namespace tq::net {
+
+/// Bumped on any incompatible layout change; a server answers a version it
+/// does not speak with kInvalidArgument and closes the connection.
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Bytes of the [u32 length] frame header.
+inline constexpr size_t kFrameHeaderBytes = 4;
+/// Default cap on one frame's payload (both directions). A length field
+/// above the cap is unrecoverable — the stream cannot be resynced — so the
+/// connection is closed.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Frame types. kError only ever appears in responses (a request the server
+/// could not decode still gets an answer, so pipelined clients never stall).
+enum class MessageType : uint8_t {
+  kError = 0,
+  kSum = 1,     // batch of per-facility service-value queries
+  kTopK = 2,    // batch of kMaxRRST queries
+  kUpdate = 3,  // trajectory inserts + removes (a write batch)
+};
+
+/// One decoded request frame. Exactly the fields of the frame's type are
+/// populated; ψ = 0 means "serve with the engine's configured ψ", any other
+/// value must match it exactly (the index is built for one ψ).
+struct NetRequest {
+  MessageType type = MessageType::kSum;
+  double psi = 0.0;
+  std::vector<FacilityId> facilities;       // kSum: one query per id
+  std::vector<uint32_t> ks;                 // kTopK: one query per k
+  /// kUpdate. Every trajectory must have ≥ 1 point (the shard router keys
+  /// off the first point); DecodeRequest rejects empty ones.
+  std::vector<std::vector<Point>> inserts;
+  std::vector<uint32_t> removes;            // kUpdate: global trajectory ids
+
+  static NetRequest Sum(std::vector<FacilityId> facilities) {
+    NetRequest r;
+    r.type = MessageType::kSum;
+    r.facilities = std::move(facilities);
+    return r;
+  }
+  static NetRequest TopK(std::vector<uint32_t> ks) {
+    NetRequest r;
+    r.type = MessageType::kTopK;
+    r.ks = std::move(ks);
+    return r;
+  }
+  static NetRequest Update(std::vector<std::vector<Point>> inserts,
+                           std::vector<uint32_t> removes) {
+    NetRequest r;
+    r.type = MessageType::kUpdate;
+    r.inserts = std::move(inserts);
+    r.removes = std::move(removes);
+    return r;
+  }
+};
+
+/// Per-query result inside a batched sum response. Individual queries can
+/// fail (facility id out of range) without failing the frame.
+struct SumResult {
+  StatusCode code = StatusCode::kOk;
+  double value = 0.0;
+};
+
+/// Per-query result inside a batched top-k response. (Named RankedResult to
+/// stay distinct from tq::TopKResult, the in-process query result.)
+struct RankedResult {
+  StatusCode code = StatusCode::kOk;
+  std::vector<RankedFacility> ranked;
+};
+
+/// One decoded response frame. `status` is the frame-level outcome; the
+/// per-query vectors are populated only when it is OK.
+struct NetResponse {
+  MessageType type = MessageType::kError;
+  Status status;
+  /// Engine snapshot version the answers were computed against (the highest
+  /// seen when sub-queries of one batch straddle a publish).
+  uint64_t snapshot_version = 0;
+  std::vector<SumResult> sums;                // kSum, frame order
+  std::vector<RankedResult> topks;            // kTopK, frame order
+  std::vector<uint64_t> shard_generations;    // kUpdate: post-publish gens
+  std::vector<uint32_t> assigned_ids;         // kUpdate: ids for `inserts`
+};
+
+/// Appends one whole frame (header + payload) for `request` to `*out`.
+void EncodeRequest(const NetRequest& request, std::string* out);
+/// Appends one whole frame (header + payload) for `response` to `*out`.
+void EncodeResponse(const NetResponse& response, std::string* out);
+
+/// Decodes a request payload (frame header already stripped). Returns
+/// kInvalidArgument on wrong version, unknown type, or truncated body;
+/// never reads out of bounds.
+Status DecodeRequest(std::string_view payload, NetRequest* out);
+/// Decodes a response payload (frame header already stripped).
+Status DecodeResponse(std::string_view payload, NetResponse* out);
+
+/// Incremental frame splitter over a byte stream. Feed() raw socket bytes,
+/// then pop complete payloads with Next() until it reports kNeedMore.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  enum class Result {
+    kFrame,     // one payload extracted; call Next() again
+    kNeedMore,  // header or body incomplete; Feed() more bytes
+    kBad,       // zero or oversized length — the stream cannot be resynced
+  };
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+  Result Next(std::string* payload);
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix; compacted between frames
+  size_t max_frame_bytes_;
+};
+
+}  // namespace tq::net
+
+#endif  // TQCOVER_NET_PROTOCOL_H_

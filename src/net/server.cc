@@ -1,0 +1,620 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace tq::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+/// Monotone max over an atomic (sub-queries of one frame may straddle a
+/// publish; the frame reports the newest snapshot any of them saw).
+void RaiseVersion(std::atomic<uint64_t>* v, uint64_t seen) {
+  uint64_t cur = v->load(std::memory_order_relaxed);
+  while (cur < seen && !v->compare_exchange_weak(
+                           cur, seen, std::memory_order_relaxed)) {
+  }
+}
+
+/// One response slot in a connection's arrival-order FIFO. A request frame
+/// claims its slot when decoded; the slot turns ready when the last of the
+/// frame's sub-queries completes.
+struct Slot {
+  bool ready = false;
+  std::string bytes;  // the encoded response frame
+};
+
+}  // namespace
+
+struct NetServer::Connection {
+  Connection(int fd, size_t max_frame_bytes)
+      : fd(fd), frames(max_frame_bytes) {}
+
+  const int fd;
+  // --- event-loop thread only ---
+  FrameAssembler frames;
+  bool want_write = false;  // EPOLLOUT armed
+  bool closing = false;     // stop reading; close once fifo+outbox drain
+
+  // --- guarded by mu (completion callbacks run on pool threads) ---
+  std::mutex mu;
+  std::deque<Slot> fifo;
+  uint64_t base_seq = 0;  // sequence number of fifo.front()
+  std::string outbox;     // staged, not-yet-sent response bytes
+  size_t out_off = 0;     // sent prefix of outbox
+  bool closed = false;    // fd closed; stage nothing further
+  bool dirty = false;     // already queued on the server's dirty list
+};
+
+/// A decoded update frame parked for coalescing: it is applied (and its
+/// response slot filled) by the next FlushUpdates.
+struct NetServer::PendingUpdate {
+  std::shared_ptr<Connection> conn;
+  uint64_t seq = 0;
+  std::vector<std::vector<Point>> inserts;
+  std::vector<uint32_t> removes;
+};
+
+namespace {
+
+/// Fan-in state of one batched read frame: sub-query i writes its own slot;
+/// the last decrement owns the vectors and encodes the response.
+template <typename Result>
+struct FrameState {
+  explicit FrameState(size_t count) : remaining(count), results(count) {}
+  std::atomic<size_t> remaining;
+  std::vector<Result> results;
+  std::atomic<uint64_t> snapshot_version{0};
+};
+
+}  // namespace
+
+NetServer::NetServer(runtime::ShardedEngine* engine, NetServerOptions options)
+    : engine_(engine),
+      metrics_(engine->mutable_metrics()),
+      options_(options) {
+  TQ_CHECK(engine != nullptr);
+  engine_psi_ = engine_->snapshot()->catalog->psi();
+  if (options_.update_batch == 0) options_.update_batch = 1;
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("server already running");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Errno("bind");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    const Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status st = Errno("epoll/eventfd");
+    Stop();
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread(&NetServer::EventLoop, this);
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (loop_.joinable()) {
+    stopping_.store(true, std::memory_order_release);
+    WakeLoop();
+    loop_.join();
+  }
+  running_.store(false, std::memory_order_release);
+  // Every dispatched sub-query must complete before sockets go away: the
+  // completion callbacks hold connection pointers and this server.
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  // Best-effort delivery of whatever completed during shutdown, then close.
+  for (auto& [fd, conn] : connections_) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->out_off < conn->outbox.size()) {
+      const ssize_t n =
+          ::send(fd, conn->outbox.data() + conn->out_off,
+                 conn->outbox.size() - conn->out_off,
+                 MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) metrics_->AddNetBytesOut(static_cast<uint64_t>(n));
+    }
+    conn->closed = true;
+    ::close(fd);
+  }
+  connections_.clear();
+  {
+    std::lock_guard<std::mutex> lock(dirty_mu_);
+    dirty_.clear();
+  }
+  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_, &spare_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void NetServer::WakeLoop() {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void NetServer::EventLoop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Pending coalesced updates flush within one poll round: an update
+    // parked in round i is flushed by the end of round i+1 — whatever
+    // arrives in between coalesces with it, and busy traffic on OTHER
+    // connections cannot starve it (the flush no longer waits for a fully
+    // idle loop).
+    const bool flush_after_round = !pending_updates_.empty();
+    const int timeout_ms = flush_after_round ? 0 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        Accept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      const std::shared_ptr<Connection> conn = it->second;
+      if (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) {
+        ReadFrom(conn);
+      }
+      if ((events[i].events & EPOLLOUT) && connections_.count(fd)) {
+        FlushOutbox(conn);
+      }
+    }
+    if (flush_after_round) FlushUpdates();
+    // Stage-to-socket handoff: connections whose callbacks completed
+    // responses since the last round.
+    std::vector<std::shared_ptr<Connection>> dirty;
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty.swap(dirty_);
+    }
+    for (const auto& conn : dirty) {
+      // Pointer identity, not just fd: a closed connection's fd number may
+      // already belong to a newer accept.
+      const auto it = connections_.find(conn->fd);
+      if (it != connections_.end() && it->second == conn) FlushOutbox(conn);
+    }
+  }
+  // Shutdown: parked update frames still get applied and answered (their
+  // responses are flushed best-effort by Stop()).
+  FlushUpdates();
+}
+
+void NetServer::Accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      // Out of file descriptors: the backlog entry would keep the
+      // level-triggered listener ready forever and busy-spin the loop.
+      // Shed the connection instead — close the reserve fd, accept, close
+      // the accepted socket (client sees a clean ECONNRESET/EOF), reopen
+      // the reserve. If a previous reacquire lost the ENFILE race, retry
+      // it now — some fd was just released or this branch would not help.
+      if (errno == EMFILE || errno == ENFILE) {
+        if (spare_fd_ < 0) {
+          spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        }
+        if (spare_fd_ < 0) return;  // truly nothing to sacrifice
+        ::close(spare_fd_);
+        spare_fd_ = -1;
+        const int shed = ::accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (shed >= 0) ::close(shed);
+        spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        continue;
+      }
+      return;  // EAGAIN (or a transient error): nothing to accept
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>(fd, options_.max_frame_bytes);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    metrics_->AddNetConnection();
+  }
+}
+
+void NetServer::ReadFrom(const std::shared_ptr<Connection>& conn) {
+  if (conn->closing) return;  // EOF or protocol failure already seen
+  char buf[64 << 10];
+  const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    CloseConnection(conn);
+    return;
+  }
+  if (n == 0) {
+    // Peer half-closed: answer what is already pipelined, then hang up.
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      idle = conn->fifo.empty() && conn->out_off == conn->outbox.size();
+    }
+    if (idle) {
+      CloseConnection(conn);
+    } else {
+      conn->closing = true;
+      UpdateInterest(conn.get());
+    }
+    return;
+  }
+  metrics_->AddNetBytesIn(static_cast<uint64_t>(n));
+  conn->frames.Feed(buf, static_cast<size_t>(n));
+  std::string payload;
+  for (;;) {
+    const FrameAssembler::Result r = conn->frames.Next(&payload);
+    if (r == FrameAssembler::Result::kNeedMore) break;
+    if (r == FrameAssembler::Result::kBad) {
+      FailConnection(conn, MessageType::kError,
+                     Status::InvalidArgument(
+                         "unframeable stream: zero or oversized length "
+                         "prefix (max " +
+                         std::to_string(options_.max_frame_bytes) +
+                         " payload bytes)"));
+      return;
+    }
+    HandleFrame(conn, payload);
+    if (conn->closing) return;  // a malformed frame ended the conversation
+  }
+}
+
+uint64_t NetServer::AllocSlot(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->fifo.emplace_back();
+  return conn->base_seq + conn->fifo.size() - 1;
+}
+
+void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                            const std::string& payload) {
+  NetRequest request;
+  const Status st = DecodeRequest(payload, &request);
+  if (!st.ok()) {
+    FailConnection(conn, MessageType::kError, st);
+    return;
+  }
+  metrics_->AddNetRequestsDecoded(1);
+  // The engine's index is built for exactly one ψ; a mismatched request is
+  // answerable only wrongly, so it gets a per-frame error (the connection
+  // survives — the frame itself was well-formed).
+  if (request.psi != 0.0 && request.psi != engine_psi_) {
+    NetResponse resp;
+    resp.type = request.type;
+    resp.status = Status::InvalidArgument(
+        "engine serves psi=" + std::to_string(engine_psi_) +
+        ", request asked for psi=" + std::to_string(request.psi));
+    resp.snapshot_version = engine_->snapshot()->version;
+    std::string bytes;
+    EncodeResponse(resp, &bytes);
+    Complete(conn, AllocSlot(conn.get()), std::move(bytes));
+    return;
+  }
+  switch (request.type) {
+    case MessageType::kSum:
+      DispatchSum(conn, AllocSlot(conn.get()), std::move(request));
+      break;
+    case MessageType::kTopK:
+      DispatchTopK(conn, AllocSlot(conn.get()), std::move(request));
+      break;
+    case MessageType::kUpdate: {
+      PendingUpdate pending;
+      pending.conn = conn;
+      pending.seq = AllocSlot(conn.get());
+      pending.inserts = std::move(request.inserts);
+      pending.removes = std::move(request.removes);
+      pending_updates_.push_back(std::move(pending));
+      if (pending_updates_.size() >= options_.update_batch) FlushUpdates();
+      break;
+    }
+    case MessageType::kError:
+      FailConnection(conn, MessageType::kError,
+                     Status::InvalidArgument("kError is not a request type"));
+      break;
+  }
+}
+
+template <typename Result>
+void NetServer::DispatchBatch(
+    const std::shared_ptr<Connection>& conn, uint64_t seq, MessageType type,
+    size_t count,
+    const std::function<runtime::QueryRequest(size_t)>& make_request,
+    std::function<Result(runtime::QueryResponse&&)> extract,
+    std::vector<Result> NetResponse::* results_field) {
+  if (count == 0) {
+    NetResponse header;
+    header.type = type;
+    header.snapshot_version = engine_->snapshot()->version;
+    std::string bytes;
+    EncodeResponse(header, &bytes);
+    Complete(conn, seq, std::move(bytes));
+    return;
+  }
+  auto state = std::make_shared<FrameState<Result>>(count);
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_ += count;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    engine_->SubmitAsync(
+        make_request(i),
+        [this, conn, seq, state, type, extract, results_field,
+         i](runtime::QueryResponse r) {
+          RaiseVersion(&state->snapshot_version, r.snapshot_version);
+          state->results[i] = extract(std::move(r));
+          // acq_rel: the last decrementer acquires every slot write.
+          if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            NetResponse resp;
+            resp.type = type;
+            resp.snapshot_version =
+                state->snapshot_version.load(std::memory_order_relaxed);
+            resp.*results_field = std::move(state->results);
+            std::string bytes;
+            EncodeResponse(resp, &bytes);
+            Complete(conn, seq, std::move(bytes));
+          }
+          std::lock_guard<std::mutex> lock(inflight_mu_);
+          if (--inflight_ == 0) inflight_cv_.notify_all();
+        });
+  }
+}
+
+void NetServer::DispatchSum(const std::shared_ptr<Connection>& conn,
+                            uint64_t seq, NetRequest request) {
+  DispatchBatch<SumResult>(
+      conn, seq, MessageType::kSum, request.facilities.size(),
+      [&request](size_t i) {
+        return runtime::QueryRequest::ServiceValue(request.facilities[i]);
+      },
+      [](runtime::QueryResponse&& r) {
+        return SumResult{r.status.code(), r.value};
+      },
+      &NetResponse::sums);
+}
+
+void NetServer::DispatchTopK(const std::shared_ptr<Connection>& conn,
+                             uint64_t seq, NetRequest request) {
+  DispatchBatch<RankedResult>(
+      conn, seq, MessageType::kTopK, request.ks.size(),
+      [&request](size_t i) {
+        return runtime::QueryRequest::TopK(request.ks[i]);
+      },
+      [](runtime::QueryResponse&& r) {
+        return RankedResult{r.status.code(), std::move(r.ranked)};
+      },
+      &NetResponse::topks);
+}
+
+void NetServer::FlushUpdates() {
+  if (pending_updates_.empty()) return;
+  std::vector<PendingUpdate> pending;
+  pending.swap(pending_updates_);
+
+  runtime::UpdateBatch batch;
+  std::vector<size_t> insert_counts;
+  insert_counts.reserve(pending.size());
+  for (PendingUpdate& p : pending) {
+    insert_counts.push_back(p.inserts.size());
+    for (auto& traj : p.inserts) batch.inserts.push_back(std::move(traj));
+    batch.removes.insert(batch.removes.end(), p.removes.begin(),
+                         p.removes.end());
+  }
+  // One forked publish for the whole batch (the --update-batch economics);
+  // an all-empty batch skips the publish (and the coalescing accounting —
+  // nothing was merged into a publish) but still answers every frame.
+  std::vector<uint32_t> ids;
+  if (!batch.inserts.empty() || !batch.removes.empty()) {
+    ids = engine_->ApplyUpdates(batch);
+    metrics_->AddNetBatchesCoalesced(pending.size() - 1);
+  }
+  const runtime::ShardedSnapshotPtr snap = engine_->snapshot();
+  std::vector<uint64_t> generations;
+  generations.reserve(snap->shards.size());
+  for (const auto& shard : snap->shards) {
+    generations.push_back(shard->generation);
+  }
+  size_t id_offset = 0;
+  for (size_t i = 0; i < pending.size(); ++i) {
+    NetResponse resp;
+    resp.type = MessageType::kUpdate;
+    resp.snapshot_version = snap->version;
+    resp.shard_generations = generations;
+    resp.assigned_ids.assign(
+        ids.begin() + static_cast<std::ptrdiff_t>(id_offset),
+        ids.begin() + static_cast<std::ptrdiff_t>(id_offset +
+                                                  insert_counts[i]));
+    id_offset += insert_counts[i];
+    std::string bytes;
+    EncodeResponse(resp, &bytes);
+    Complete(pending[i].conn, pending[i].seq, std::move(bytes));
+  }
+}
+
+void NetServer::Complete(const std::shared_ptr<Connection>& conn,
+                         uint64_t seq, std::string frame_bytes) {
+  // Responses honor the same frame cap requests do — a peer's assembler
+  // would reject anything larger as unframeable. The request stays
+  // answered (slot accounting intact), just with an error the client can
+  // act on.
+  if (frame_bytes.size() - kFrameHeaderBytes > options_.max_frame_bytes) {
+    NetResponse err;
+    err.type = MessageType::kError;
+    err.status = Status::InvalidArgument(
+        "response would exceed the frame cap (" +
+        std::to_string(options_.max_frame_bytes) +
+        " payload bytes) — split the request batch");
+    frame_bytes.clear();
+    EncodeResponse(err, &frame_bytes);
+  }
+  bool stage = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    TQ_CHECK(seq >= conn->base_seq &&
+             seq - conn->base_seq < conn->fifo.size());
+    Slot& slot = conn->fifo[seq - conn->base_seq];
+    slot.ready = true;
+    slot.bytes = std::move(frame_bytes);
+    // Pump the ready prefix: pipelined responses leave in arrival order.
+    bool staged = false;
+    while (!conn->fifo.empty() && conn->fifo.front().ready) {
+      conn->outbox += conn->fifo.front().bytes;
+      conn->fifo.pop_front();
+      ++conn->base_seq;
+      staged = true;
+    }
+    if (staged && !conn->closed && !conn->dirty) {
+      conn->dirty = true;
+      stage = true;
+    }
+  }
+  if (stage) {
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty_.push_back(conn);
+    }
+    WakeLoop();
+  }
+}
+
+void NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
+  bool close_now = false;
+  {
+    std::unique_lock<std::mutex> lock(conn->mu);
+    conn->dirty = false;
+    if (conn->closed) return;  // raced with a close; fd may be reused
+    while (conn->out_off < conn->outbox.size()) {
+      const ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->out_off,
+                               conn->outbox.size() - conn->out_off,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+        metrics_->AddNetBytesOut(static_cast<uint64_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn->want_write) {
+          conn->want_write = true;
+          UpdateInterest(conn.get());
+        }
+        return;
+      }
+      lock.unlock();
+      CloseConnection(conn);  // peer went away mid-response
+      return;
+    }
+    conn->outbox.clear();
+    conn->out_off = 0;
+    if (conn->want_write) {
+      conn->want_write = false;
+      UpdateInterest(conn.get());
+    }
+    close_now = conn->closing && conn->fifo.empty();
+  }
+  if (close_now) CloseConnection(conn);
+}
+
+void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  connections_.erase(conn->fd);
+}
+
+void NetServer::FailConnection(const std::shared_ptr<Connection>& conn,
+                               MessageType type, Status status) {
+  NetResponse resp;
+  resp.type = type;
+  resp.status = std::move(status);
+  std::string bytes;
+  EncodeResponse(resp, &bytes);
+  Complete(conn, AllocSlot(conn.get()), std::move(bytes));
+  conn->closing = true;  // everything already pipelined still gets answered
+  UpdateInterest(conn.get());
+}
+
+void NetServer::UpdateInterest(Connection* conn) {
+  epoll_event ev{};
+  ev.events = (conn->closing ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (conn->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn->fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+}  // namespace tq::net

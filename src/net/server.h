@@ -1,0 +1,175 @@
+// Async batched network front-end over the sharded engine.
+//
+// One epoll event-loop thread owns every socket — a single non-blocking
+// listener plus N non-blocking connections; there is no thread per
+// connection, so idle connections cost one epoll registration and a few KB.
+// The loop's only jobs are framing and dispatch:
+//
+//   * READ  — bytes are fed to a per-connection FrameAssembler; every
+//     complete frame is decoded (net/protocol.h) and its queries are
+//     dispatched straight onto the ShardedEngine's worker pool via
+//     SubmitAsync. The loop never evaluates a query itself.
+//   * COMPLETE — the pool thread that finishes a gather runs the completion
+//     callback: it fills the frame's slot in the connection's arrival-order
+//     FIFO, and when the FIFO head becomes ready, encodes and stages the
+//     response bytes and wakes the loop through an eventfd. Responses are
+//     therefore PIPELINED per connection: many request frames may be in
+//     flight, and answers always come back in arrival order.
+//   * WRITE — the loop drains each connection's staged bytes with
+//     non-blocking sends, falling back to EPOLLOUT when the socket's buffer
+//     fills.
+//   * UPDATES — write frames are not applied one by one: they accumulate in
+//     a pending batch that is flushed through one ApplyUpdates call when
+//     `update_batch` frames have arrived, and otherwise within one poll
+//     round (an update parked in round i flushes by the end of round i+1,
+//     even under sustained traffic on other connections). Same coalescing
+//     economics as the CLI's --update-batch: one forked publish per batch,
+//     not per write. Each frame still gets its
+//     own response with its own assigned ids.
+//
+// Ordering contract: responses are in request-arrival order per connection,
+// but EXECUTION order across request types is not guaranteed — a read
+// pipelined behind an update may run against the pre-update snapshot (its
+// response still waits behind the update's). A client needing
+// read-your-writes waits for the update response before issuing reads.
+//
+// Error handling: a request the server cannot decode still yields a
+// response frame (type kError) so pipelined clients never stall, after
+// which the connection is closed — framing may be intact but the stream is
+// no longer trusted. An unframeable byte stream (oversized or zero length
+// prefix) is answered the same way and closed immediately.
+#ifndef TQCOVER_NET_SERVER_H_
+#define TQCOVER_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+#include "runtime/sharded_engine.h"
+
+namespace tq::net {
+
+struct NetServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// Payload cap per frame, both directions; larger length prefixes close
+  /// the connection.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Update frames coalesced into one ApplyUpdates publish. The pending
+  /// batch also flushes after one poll round regardless, so a lone update
+  /// is never parked behind an unreachable threshold or starved by other
+  /// connections' traffic.
+  size_t update_batch = 1;
+  int listen_backlog = 64;
+};
+
+/// The TCP front-end. Construction binds nothing; Start() binds, listens,
+/// and spawns the event-loop thread; Stop() (idempotent, also run by the
+/// destructor) drains in-flight work and closes every socket. The engine
+/// must outlive the server.
+class NetServer {
+ public:
+  NetServer(runtime::ShardedEngine* engine, NetServerOptions options);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  Status Start();
+  /// Flushes the pending update batch, waits for every dispatched query to
+  /// complete, then closes all sockets. Responses already staged are given
+  /// one best-effort non-blocking flush; undeliverable ones are dropped
+  /// (clients see EOF).
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually-bound port (resolves port 0 requests after Start()).
+  uint16_t port() const { return port_; }
+
+ private:
+  struct Connection;
+  struct PendingUpdate;
+
+  void EventLoop();
+  void Accept();
+  void ReadFrom(const std::shared_ptr<Connection>& conn);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const std::string& payload);
+  void DispatchSum(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                   NetRequest request);
+  void DispatchTopK(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                    NetRequest request);
+  /// The shared fan-in machinery of both batched read paths: one engine
+  /// sub-query per item (`make_request` is only invoked during this call),
+  /// each completion extracts its per-query Result, and the last one
+  /// encodes the response frame into `results_field` and completes slot
+  /// `seq`.
+  template <typename Result>
+  void DispatchBatch(
+      const std::shared_ptr<Connection>& conn, uint64_t seq,
+      MessageType type, size_t count,
+      const std::function<runtime::QueryRequest(size_t)>& make_request,
+      std::function<Result(runtime::QueryResponse&&)> extract,
+      std::vector<Result> NetResponse::* results_field);
+  void FlushUpdates();
+  /// Fills slot `seq` with encoded bytes and stages any newly-ready FIFO
+  /// prefix for writing. Safe from any thread.
+  void Complete(const std::shared_ptr<Connection>& conn, uint64_t seq,
+                std::string frame_bytes);
+  /// Non-blocking send of a connection's staged bytes (loop thread only).
+  void FlushOutbox(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void WakeLoop();
+  /// Claims the next arrival-order response slot (any thread).
+  uint64_t AllocSlot(Connection* conn);
+  /// Recomputes a connection's epoll interest set (loop thread only).
+  void UpdateInterest(Connection* conn);
+  /// Stages an error response into the next FIFO slot and begins a graceful
+  /// close (answer everything already pipelined, then hang up).
+  void FailConnection(const std::shared_ptr<Connection>& conn,
+                      MessageType type, Status status);
+
+  runtime::ShardedEngine* engine_;
+  runtime::MetricsRegistry* metrics_;
+  NetServerOptions options_;
+  /// The serving ψ, fixed for the engine's lifetime (the catalog is shared
+  /// unchanged across publishes) — cached so the per-frame mismatch check
+  /// does not take the snapshot mutex.
+  double engine_psi_ = 0.0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;   // eventfd: completion callbacks wake the loop
+  int spare_fd_ = -1;  // reserve fd, sacrificed to shed accepts on EMFILE
+  uint16_t port_ = 0;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  // Loop-thread-only state.
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::vector<PendingUpdate> pending_updates_;
+
+  // Connections with staged response bytes, appended by completion
+  // callbacks (any thread) and drained by the loop on each wake.
+  std::mutex dirty_mu_;
+  std::vector<std::shared_ptr<Connection>> dirty_;
+
+  // Outstanding engine sub-queries; Stop() waits for zero so no callback
+  // can outlive the server.
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  size_t inflight_ = 0;
+};
+
+}  // namespace tq::net
+
+#endif  // TQCOVER_NET_SERVER_H_

@@ -57,6 +57,16 @@ struct MetricsView {
   uint64_t entries_scanned = 0;
   uint64_t exact_checks = 0;
   uint64_t heap_pops = 0;
+  /// Network front-end accounting (src/net/server.h; all 0 when the engine
+  /// is driven in-process): connections accepted, request frames decoded
+  /// off the wire, update frames merged into an already-pending publish
+  /// (a flush combining m frames adds m − 1), and payload bytes received /
+  /// sent including the 4-byte frame headers.
+  uint64_t net_connections = 0;
+  uint64_t net_requests_decoded = 0;
+  uint64_t net_batches_coalesced = 0;
+  uint64_t net_bytes_in = 0;
+  uint64_t net_bytes_out = 0;
 
   double CacheHitRate() const {
     const uint64_t looked = cache_hits + cache_misses;
@@ -97,6 +107,11 @@ struct MetricsView {
     field("entries_scanned", entries_scanned);
     field("exact_checks", exact_checks);
     field("heap_pops", heap_pops);
+    field("net_connections", net_connections);
+    field("net_requests_decoded", net_requests_decoded);
+    field("net_batches_coalesced", net_batches_coalesced);
+    field("net_bytes_in", net_bytes_in);
+    field("net_bytes_out", net_bytes_out);
     s += "}";
     return s;
   }
@@ -156,6 +171,23 @@ class MetricsRegistry {
     prune_rounds_.fetch_add(rounds, std::memory_order_relaxed);
   }
 
+  /// Network front-end accounting (bumped by net::NetServer only).
+  void AddNetConnection() {
+    net_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddNetRequestsDecoded(uint64_t n) {
+    if (n) net_requests_decoded_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddNetBatchesCoalesced(uint64_t n) {
+    if (n) net_batches_coalesced_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddNetBytesIn(uint64_t n) {
+    if (n) net_bytes_in_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddNetBytesOut(uint64_t n) {
+    if (n) net_bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Folds one query's traversal counters into the registry.
   void RecordQueryStats(const QueryStats& s) {
     nodes_visited_.fetch_add(s.nodes_visited, std::memory_order_relaxed);
@@ -192,6 +224,13 @@ class MetricsRegistry {
     v.entries_scanned = entries_scanned_.load(std::memory_order_relaxed);
     v.exact_checks = exact_checks_.load(std::memory_order_relaxed);
     v.heap_pops = heap_pops_.load(std::memory_order_relaxed);
+    v.net_connections = net_connections_.load(std::memory_order_relaxed);
+    v.net_requests_decoded =
+        net_requests_decoded_.load(std::memory_order_relaxed);
+    v.net_batches_coalesced =
+        net_batches_coalesced_.load(std::memory_order_relaxed);
+    v.net_bytes_in = net_bytes_in_.load(std::memory_order_relaxed);
+    v.net_bytes_out = net_bytes_out_.load(std::memory_order_relaxed);
     return v;
   }
 
@@ -218,6 +257,11 @@ class MetricsRegistry {
   std::atomic<uint64_t> entries_scanned_{0};
   std::atomic<uint64_t> exact_checks_{0};
   std::atomic<uint64_t> heap_pops_{0};
+  std::atomic<uint64_t> net_connections_{0};
+  std::atomic<uint64_t> net_requests_decoded_{0};
+  std::atomic<uint64_t> net_batches_coalesced_{0};
+  std::atomic<uint64_t> net_bytes_in_{0};
+  std::atomic<uint64_t> net_bytes_out_{0};
 };
 
 }  // namespace tq::runtime

@@ -49,7 +49,7 @@ namespace tq::runtime {
 struct ShardedEngine::GatherState {
   QueryRequest request;
   ShardedSnapshotPtr snap;  // pins every shard's tree for the query
-  std::promise<QueryResponse> promise;
+  ResponseCallback done;    // fulfilled exactly once by the last finisher
   std::vector<double> values;                   // kServiceValue: per shard
   std::vector<std::vector<double>> fac_values;  // kTopK: per shard, per fac
   std::vector<QueryStats> stats;                // per shard
@@ -144,10 +144,19 @@ size_t ShardedEngine::NumUsersTotal() const {
 }
 
 std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
+  auto promise = std::make_shared<std::promise<QueryResponse>>();
+  std::future<QueryResponse> future = promise->get_future();
+  SubmitAsync(request, [promise](QueryResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void ShardedEngine::SubmitAsync(QueryRequest request, ResponseCallback done) {
   auto state = std::make_shared<GatherState>();
   state->request = request;
   state->snap = snapshot();
-  std::future<QueryResponse> future = state->promise.get_future();
+  state->done = std::move(done);
   metrics_.AddQuery(request.kind == QueryKind::kTopK);
 
   // Malformed tenant requests come back as errors before any scatter.
@@ -160,8 +169,8 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
         "facility id " + std::to_string(request.facility) +
         " out of range (catalog has " +
         std::to_string(state->snap->catalog->size()) + ")");
-    state->promise.set_value(std::move(response));
-    return future;
+    state->done(std::move(response));
+    return;
   }
 
   // A memoised gathered top-k answer for this exact generation vector
@@ -175,14 +184,14 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
                        &response.ranked)) {
       response.cache_hit = true;
       metrics_.AddCacheHit();
-      state->promise.set_value(std::move(response));
-      return future;
+      state->done(std::move(response));
+      return;
     }
     // Degenerate ranking (k = 0 or an empty catalog) needs no scatter at
     // all — answer empty immediately, like the malformed-request path.
     if (request.k == 0 || state->snap->catalog->size() == 0) {
-      state->promise.set_value(std::move(response));
-      return future;
+      state->done(std::move(response));
+      return;
     }
   }
 
@@ -192,7 +201,17 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
   state->stats.resize(n);
   state->hits.assign(n, 0);
   state->remaining.store(n, std::memory_order_relaxed);
-  if (state->request.kind == QueryKind::kTopK && options_.prune_topk) {
+  // Adaptive protocol selection: once the effective k covers
+  // prune_skip_ratio of the catalog, the answer must contain most
+  // facilities anyway — the bound sweep cannot prune enough to pay for
+  // itself, so the query skips straight to the exhaustive gather (same
+  // bit-identical answer, no sweep overhead).
+  const size_t num_fac = state->snap->catalog->size();
+  const bool prune =
+      options_.prune_topk &&
+      static_cast<double>(std::min(request.k, num_fac)) <
+          options_.prune_skip_ratio * static_cast<double>(num_fac);
+  if (state->request.kind == QueryKind::kTopK && prune) {
     // Bound-and-prune protocol: scatter round-1 bound-sweep tasks; the
     // coordinator (last finisher) decides what round 2 must refine.
     state->bounds.resize(n);
@@ -200,12 +219,11 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
     for (size_t s = 0; s < n; ++s) {
       pool_.Post([this, state, s]() { ExecuteTopKBoundRound(state, s); });
     }
-    return future;
+    return;
   }
   for (size_t s = 0; s < n; ++s) {
     pool_.Post([this, state, s]() { ExecuteShard(state, s); });
   }
-  return future;
 }
 
 std::vector<QueryResponse> ShardedEngine::RunBatch(
@@ -306,7 +324,7 @@ void ShardedEngine::Gather(GatherState* state) {
     RankTopK(state, std::move(all), &response);
   }
   metrics_.RecordQueryStats(total);
-  state->promise.set_value(std::move(response));
+  state->done(std::move(response));
 }
 
 void ShardedEngine::RankTopK(GatherState* state,
@@ -496,7 +514,6 @@ void ShardedEngine::FinishTopK(GatherState* state) {
   const ShardedSnapshot& snap = *state->snap;
   const size_t n = snap.shards.size();
   const size_t num_fac = snap.catalog->size();
-  const size_t k = std::min(state->request.k, num_fac);
   QueryResponse response;
   response.kind = state->request.kind;
   response.snapshot_version = snap.version;
@@ -526,7 +543,7 @@ void ShardedEngine::FinishTopK(GatherState* state) {
   const uint64_t slots = static_cast<uint64_t>(num_fac) * n;
   metrics_.AddTopKPruneWork(evaluated, slots - evaluated, state->rounds);
   metrics_.RecordQueryStats(total);
-  state->promise.set_value(std::move(response));
+  state->done(std::move(response));
 }
 
 std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {

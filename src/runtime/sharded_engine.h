@@ -61,6 +61,7 @@
 #define TQCOVER_RUNTIME_SHARDED_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,13 @@ struct ShardedEngineOptions {
   /// TQ-tree descent budget of the per-facility bound sweep
   /// (TQTree::UpperBound): deeper = tighter bounds, more nodes visited.
   int bound_levels = 4;
+  /// Adaptive protocol selection: when the effective k (min(k, |F|)) reaches
+  /// `prune_skip_ratio · |F|`, the bound sweep cannot prune enough to pay
+  /// for itself — the query goes straight to the exhaustive gather instead
+  /// (still bit-identical). > 1.0 never skips (the effective k tops out at
+  /// |F|, so exactly 1.0 still skips at k = |F|); 0.0 always skips (i.e.
+  /// always exhaustive, like prune_topk = false).
+  double prune_skip_ratio = 0.5;
   /// TQ-tree construction parameters (the service model lives here).
   TQTreeOptions tree;
 };
@@ -135,6 +143,10 @@ class ShardedEngine {
 
   const ShardedEngineOptions& options() const { return options_; }
   const MetricsRegistry& metrics() const { return metrics_; }
+  /// Mutable registry access for front-ends layered on the engine (the net
+  /// server folds its connection/byte counters in here so one JSON snapshot
+  /// covers the whole serving stack).
+  MetricsRegistry* mutable_metrics() { return &metrics_; }
   const ShardRouter& router() const { return router_; }
   size_t num_shards() const { return router_.num_shards(); }
 
@@ -155,6 +167,16 @@ class ShardedEngine {
   /// Scatters one query across all shards; the returned future completes
   /// when the last shard's task has been gathered.
   std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Completion callback for SubmitAsync. Runs exactly once: on the pool
+  /// thread that finishes the gather, or inline on the submitting thread
+  /// for cache hits, rejected requests, and degenerate queries.
+  using ResponseCallback = std::function<void(QueryResponse)>;
+
+  /// Callback-style Submit — the dispatch hook event-driven front-ends
+  /// (src/net/server.h) use to avoid parking a thread per in-flight query.
+  /// The callback must not block and must not destroy the engine.
+  void SubmitAsync(QueryRequest request, ResponseCallback done);
 
   /// Submits every request, then blocks for all answers (in request order).
   std::vector<QueryResponse> RunBatch(const std::vector<QueryRequest>& batch);

@@ -7,7 +7,9 @@
 //     shards ∈ {1, 2, 4, 8}, including tie-heavy value distributions;
 //   * the protocol actually prunes: facilities_evaluated stays below the
 //     facilities × shards exhaustive-sweep count, with the skipped slots
-//     accounted in facilities_pruned.
+//     accounted in facilities_pruned;
+//   * the adaptive large-k switch (prune_skip_ratio) routes k ≥ ratio·|F|
+//     queries straight to the exhaustive gather, same answers.
 // Runs under ASan+UBSan and TSan in CI (two-round gathers hop threads).
 #include <gtest/gtest.h>
 
@@ -327,6 +329,70 @@ TEST(TopKPrune, SegmentedModeAgreesWithExhaustive) {
       EXPECT_EQ(got.ranked[i].value, want.ranked[i].value);
     }
   }
+}
+
+// ------------------------------------------------- adaptive large-k switch
+
+// At k ≥ prune_skip_ratio·|F| the answer must contain at least half the
+// catalog, so the bound sweep is pure overhead — the engine must go
+// straight to the exhaustive gather (prune counters untouched) while small
+// k keeps the pruned protocol. Both answers match the oracle either way.
+TEST(TopKPrune, LargeKSkipsBoundSweepAdaptively) {
+  const TrajectorySet users = presets::NyfCheckins(900);
+  const TrajectorySet routes = presets::NyBusRoutes(32, 8);
+  const ServiceModel model =
+      ServiceModel::PointCount(200.0, Normalization::kNone);
+  ShardedEngine engine(users, routes, Options(4, model, true));
+  ASSERT_EQ(engine.options().prune_skip_ratio, 0.5);  // the documented default
+
+  // k = 16 = 0.5 · 32: at the threshold, the sweep is skipped.
+  const QueryResponse large = engine.Submit(QueryRequest::TopK(16)).get();
+  MetricsView m = engine.metrics().Read();
+  EXPECT_EQ(m.prune_rounds, 0u) << "large k still ran the bound sweep";
+  EXPECT_EQ(m.facilities_evaluated, 0u);
+
+  // k = 2 is far below the threshold: the pruned protocol runs.
+  const QueryResponse small = engine.Submit(QueryRequest::TopK(2)).get();
+  m = engine.metrics().Read();
+  EXPECT_GE(m.prune_rounds, 1u) << "small k skipped the bound sweep";
+
+  // Both paths match the brute-force ranking.
+  const std::vector<RankedFacility> oracle16 =
+      OracleRanking(users, routes, model, 16);
+  ASSERT_EQ(large.ranked.size(), oracle16.size());
+  for (size_t i = 0; i < oracle16.size(); ++i) {
+    EXPECT_EQ(large.ranked[i].id, oracle16[i].id) << "rank " << i;
+    EXPECT_EQ(large.ranked[i].value, oracle16[i].value) << "rank " << i;
+  }
+  const std::vector<RankedFacility> oracle2 =
+      OracleRanking(users, routes, model, 2);
+  ASSERT_EQ(small.ranked.size(), oracle2.size());
+  for (size_t i = 0; i < oracle2.size(); ++i) {
+    EXPECT_EQ(small.ranked[i].id, oracle2[i].id) << "rank " << i;
+    EXPECT_EQ(small.ranked[i].value, oracle2[i].value) << "rank " << i;
+  }
+}
+
+// The ratio is a real knob: ≥ 1.0 never skips (k is clamped to |F|), and
+// 0.0 always skips — equivalent to prune_topk = false.
+TEST(TopKPrune, PruneSkipRatioIsConfigurable) {
+  const TrajectorySet users = presets::NyfCheckins(600);
+  const TrajectorySet routes = presets::NyBusRoutes(16, 8);
+  const ServiceModel model =
+      ServiceModel::PointCount(200.0, Normalization::kNone);
+
+  ShardedEngineOptions never_skip = Options(2, model, true);
+  never_skip.prune_skip_ratio = 1.1;
+  ShardedEngine pruned(users, routes, never_skip);
+  // k beyond the catalog clamps to |F| = 16 < 1.1 · 16: protocol runs.
+  (void)pruned.Submit(QueryRequest::TopK(100)).get();
+  EXPECT_GE(pruned.metrics().Read().prune_rounds, 1u);
+
+  ShardedEngineOptions always_skip = Options(2, model, true);
+  always_skip.prune_skip_ratio = 0.0;
+  ShardedEngine exhaustive(users, routes, always_skip);
+  (void)exhaustive.Submit(QueryRequest::TopK(1)).get();
+  EXPECT_EQ(exhaustive.metrics().Read().prune_rounds, 0u);
 }
 
 }  // namespace

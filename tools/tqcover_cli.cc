@@ -12,17 +12,23 @@
 //   tqcover_cli serve    --users trips.bin --facilities routes.bin
 //                        --threads 4 --queries 2000   # concurrent runtime
 //   tqcover_cli serve    ... --shards 8   # scatter/gather over 8 TQ-trees
+//   tqcover_cli serve    ... --listen 7070   # TCP front-end (net/server.h)
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/timer.h"
 #include "cover/genetic.h"
 #include "cover/greedy.h"
 #include "datagen/presets.h"
+#include "net/server.h"
 #include "query/baseline.h"
 #include "query/topk.h"
 #include "runtime/engine.h"
@@ -73,6 +79,12 @@ int Usage() {
       "           [--updates 0] [--update-size 64] [--update-batch 1]\n"
       "           [--prune 1]   # sharded top-k: bound-and-prune (0 =\n"
       "                         # exhaustive per-shard sweeps, same answers)\n"
+      "           [--prune-skip-ratio 0.5]  # go exhaustive once k reaches\n"
+      "                                     # this fraction of |facilities|\n"
+      "           [--listen PORT [--duration S]]  # serve the binary TCP\n"
+      "                         # protocol (docs/PROTOCOL.md) instead of a\n"
+      "                         # local query loop; 0 = ephemeral port;\n"
+      "                         # runs S seconds (default: until SIGINT)\n"
       "files: .bin (packed binary) or anything else (CSV x1,y1;x2,y2;...)\n");
   return 2;
 }
@@ -245,6 +257,49 @@ int CmdCover(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_serve_interrupted{false};
+
+void OnServeSignal(int) { g_serve_interrupted.store(true); }
+
+// serve --listen: put the sharded engine behind the TCP front-end
+// (src/net/server.h) and block until --duration seconds pass or SIGINT/
+// SIGTERM arrives, then report the combined engine + network metrics.
+int RunListenLoop(tq::runtime::ShardedEngine& engine, const Args& args) {
+  tq::net::NetServerOptions options;
+  options.port = static_cast<uint16_t>(args.GetSize("listen", 0));
+  options.update_batch = std::max<size_t>(1, args.GetSize("update-batch", 1));
+  tq::net::NetServer server(&engine, options);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const size_t duration_s = args.GetSize("duration", 0);
+  g_serve_interrupted.store(false);
+  std::signal(SIGINT, OnServeSignal);
+  std::signal(SIGTERM, OnServeSignal);
+  std::printf("listening on 127.0.0.1:%u (update-batch %zu, %s)\n",
+              server.port(), options.update_batch,
+              duration_s ? "timed run" : "until SIGINT");
+  std::fflush(stdout);
+  tq::Timer timer;
+  while (!g_serve_interrupted.load() &&
+         (duration_s == 0 || timer.ElapsedSeconds() <
+                                 static_cast<double>(duration_s))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  const tq::runtime::MetricsView m = engine.metrics().Read();
+  std::printf("served %llu connections, %llu request frames "
+              "(%llu bytes in, %llu bytes out)\n",
+              static_cast<unsigned long long>(m.net_connections),
+              static_cast<unsigned long long>(m.net_requests_decoded),
+              static_cast<unsigned long long>(m.net_bytes_in),
+              static_cast<unsigned long long>(m.net_bytes_out));
+  std::printf("# metrics: %s\n", m.ToJson().c_str());
+  return 0;
+}
+
 // The serve query/update loop, shared by the unsharded and sharded engines
 // (same Submit/ApplyUpdates/metrics protocol). `mirror` is a local copy of
 // the engine's user set: both engines assign global ids densely in insertion
@@ -356,17 +411,22 @@ int CmdServe(const Args& args) {
 
   const size_t num_users = users.size();
   const size_t num_facilities = facilities.size();
+  // The network front-end always runs over the sharded engine (one shard is
+  // fine); a shards=1 --listen run must not fall through to the unsharded
+  // engine below.
+  const bool listen = args.kv.count("listen") != 0;
   // The churn mirror costs a full user-set copy — only pay it when update
   // batches are actually requested (see RunServeLoop).
   tq::TrajectorySet mirror;
-  if (args.GetSize("updates", 0) > 0) mirror = users;
+  if (!listen && args.GetSize("updates", 0) > 0) mirror = users;
   tq::Timer build_timer;
-  if (num_shards > 1) {
+  if (num_shards > 1 || listen) {
     tq::runtime::ShardedEngineOptions options;
     options.num_shards = num_shards;
     options.num_threads = num_threads;
     options.cache_capacity = cache_capacity;
     options.prune_topk = args.GetSize("prune", 1) != 0;
+    options.prune_skip_ratio = args.GetDouble("prune-skip-ratio", 0.5);
     options.tree = tree;
     tq::runtime::ShardedEngine engine(std::move(users),
                                       std::move(facilities), options);
@@ -375,6 +435,7 @@ int CmdServe(const Args& args) {
                 num_users, engine.num_shards(), num_facilities, num_threads,
                 options.prune_topk ? "bound-and-prune" : "exhaustive",
                 build_timer.ElapsedSeconds());
+    if (listen) return RunListenLoop(engine, args);
     return RunServeLoop(engine, std::move(mirror), args);
   }
   tq::runtime::EngineOptions options;

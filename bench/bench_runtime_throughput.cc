@@ -234,8 +234,7 @@ int main() {
     WriteResult r;
     r.batch = batch_size;
     r.publishes = batch_size >= 256 ? 8 : 32;
-    std::vector<double> lat_ms;
-    lat_ms.reserve(r.publishes);
+    tq::bench::LatencyRecorder recorder;
     const tq::runtime::MetricsView m0 = engine.metrics().Read();
     tq::Timer total_timer;
     for (size_t p = 0; p < r.publishes; ++p) {
@@ -249,14 +248,14 @@ int main() {
       }
       tq::Timer publish_timer;
       engine.ApplyUpdates(batch);
-      lat_ms.push_back(publish_timer.ElapsedSeconds() * 1e3);
+      recorder.RecordSeconds(publish_timer.ElapsedSeconds());
     }
     const double total_s = total_timer.ElapsedSeconds();
     const tq::runtime::MetricsView m1 = engine.metrics().Read();
-    std::sort(lat_ms.begin(), lat_ms.end());
+    const tq::runtime::HistogramSnapshot lat = recorder.Snapshot();
     r.publishes_per_sec = static_cast<double>(r.publishes) / total_s;
-    r.p50_ms = lat_ms[lat_ms.size() / 2];
-    r.p99_ms = lat_ms[std::min(lat_ms.size() - 1, lat_ms.size() * 99 / 100)];
+    r.p50_ms = tq::bench::PercentileMs(lat, 0.50);
+    r.p99_ms = tq::bench::PercentileMs(lat, 0.99);
     r.nodes_copied_per_publish =
         static_cast<double>(m1.nodes_copied - m0.nodes_copied) /
         static_cast<double>(r.publishes);

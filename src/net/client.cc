@@ -112,6 +112,11 @@ Status NetClient::Update(std::vector<std::vector<Point>> inserts,
   return Receive(response);
 }
 
+Status NetClient::Stats(uint32_t max_traces, NetResponse* response) {
+  TQ_RETURN_NOT_OK(Send(NetRequest::Stats(max_traces)));
+  return Receive(response);
+}
+
 Status NetClient::WriteAll(const char* data, size_t n) {
   size_t off = 0;
   while (off < n) {

@@ -48,6 +48,9 @@ class NetClient {
   /// response->assigned_ids holds the ids given to `inserts`, in order.
   Status Update(std::vector<std::vector<Point>> inserts,
                 std::vector<uint32_t> removes, NetResponse* response);
+  /// Scrapes the server's metrics, per-op latency histograms, and up to
+  /// `max_traces` recent traces (slowest first) into response->stats.
+  Status Stats(uint32_t max_traces, NetResponse* response);
 
   // ---- async batch API: pipeline frames, then drain --------------------
 

@@ -1,5 +1,6 @@
 #include "net/protocol.h"
 
+#include <cstdio>
 #include <cstring>
 
 namespace tq::net {
@@ -67,6 +68,11 @@ class Reader {
     pos_ += n;
     return true;
   }
+  /// u8 length + bytes — the short-string form stats frames use for names.
+  bool GetName(std::string* out) {
+    uint8_t n = 0;
+    return GetU8(&n) && GetBytes(n, out);
+  }
   /// A count field must leave at least `min_entry_bytes × count` bytes in
   /// the payload — rejects absurd counts before any allocation.
   bool Plausible(uint32_t count, size_t min_entry_bytes) const {
@@ -103,6 +109,15 @@ void PatchLength(std::string* out, size_t frame_start) {
   (*out)[frame_start + 3] = static_cast<char>(v >> 24);
 }
 
+/// Short-string encoding for counter / histogram / span names: u8 length +
+/// bytes. All producers are static identifiers well under 255 bytes; a
+/// longer string is truncated rather than corrupting the frame.
+void PutName(std::string* out, const std::string& s) {
+  const size_t n = s.size() > 255 ? 255 : s.size();
+  PutU8(out, static_cast<uint8_t>(n));
+  out->append(s.data(), n);
+}
+
 }  // namespace
 
 void EncodeRequest(const NetRequest& request, std::string* out) {
@@ -131,6 +146,9 @@ void EncodeRequest(const NetRequest& request, std::string* out) {
       }
       PutU32(out, static_cast<uint32_t>(request.removes.size()));
       for (const uint32_t id : request.removes) PutU32(out, id);
+      break;
+    case MessageType::kStats:
+      PutU32(out, request.stats_max_traces);
       break;
     case MessageType::kError:
       break;  // never encoded as a request; empty body
@@ -174,6 +192,41 @@ void EncodeResponse(const NetResponse& response, std::string* out) {
         PutU32(out, static_cast<uint32_t>(response.assigned_ids.size()));
         for (const uint32_t id : response.assigned_ids) PutU32(out, id);
         break;
+      case MessageType::kStats: {
+        const WireStats& st = response.stats;
+        PutU32(out, static_cast<uint32_t>(st.counters.size()));
+        for (const auto& [name, value] : st.counters) {
+          PutName(out, name);
+          PutU64(out, value);
+        }
+        PutU32(out, static_cast<uint32_t>(st.histograms.size()));
+        for (const WireHistogram& h : st.histograms) {
+          PutName(out, h.name);
+          PutU64(out, h.count);
+          PutU64(out, h.sum_ns);
+          PutU64(out, h.p50_ns);
+          PutU64(out, h.p90_ns);
+          PutU64(out, h.p99_ns);
+          PutU64(out, h.max_ns);
+        }
+        PutU32(out, static_cast<uint32_t>(st.traces.size()));
+        for (const WireTrace& t : st.traces) {
+          PutName(out, t.op);
+          PutU64(out, t.detail);
+          PutU64(out, t.total_ns);
+          PutU64(out, t.snapshot_version);
+          PutU64(out, t.unix_ms);
+          PutU32(out, t.dropped_spans);
+          PutU32(out, static_cast<uint32_t>(t.spans.size()));
+          for (const WireSpan& s : t.spans) {
+            PutName(out, s.name);
+            PutU32(out, static_cast<uint32_t>(s.shard));  // two's complement
+            PutU64(out, s.start_ns);
+            PutU64(out, s.end_ns);
+          }
+        }
+        break;
+      }
       case MessageType::kError:
         break;  // status carries everything
     }
@@ -251,6 +304,11 @@ Status DecodeRequest(std::string_view payload, NetRequest* out) {
       }
       break;
     }
+    case MessageType::kStats: {
+      out->type = MessageType::kStats;
+      if (!r.GetU32(&out->stats_max_traces)) return Truncated("stats request");
+      break;
+    }
     default:
       return Status::InvalidArgument("unknown request type " +
                                      std::to_string(type));
@@ -274,7 +332,7 @@ Status DecodeResponse(std::string_view payload, NetResponse* out) {
                                    std::to_string(version) +
                                    " not supported");
   }
-  if (type > static_cast<uint8_t>(MessageType::kUpdate)) {
+  if (type > static_cast<uint8_t>(MessageType::kStats)) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type));
   }
@@ -344,11 +402,117 @@ Status DecodeResponse(std::string_view payload, NetResponse* out) {
       }
       break;
     }
+    case MessageType::kStats: {
+      WireStats& st = out->stats;
+      if (!r.GetU32(&count) || !r.Plausible(count, 9)) {
+        return Truncated("stats response");
+      }
+      st.counters.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetName(&st.counters[i].first) ||
+            !r.GetU64(&st.counters[i].second)) {
+          return Truncated("stats response");
+        }
+      }
+      if (!r.GetU32(&count) || !r.Plausible(count, 49)) {
+        return Truncated("stats response");
+      }
+      st.histograms.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        WireHistogram& h = st.histograms[i];
+        if (!r.GetName(&h.name) || !r.GetU64(&h.count) ||
+            !r.GetU64(&h.sum_ns) || !r.GetU64(&h.p50_ns) ||
+            !r.GetU64(&h.p90_ns) || !r.GetU64(&h.p99_ns) ||
+            !r.GetU64(&h.max_ns)) {
+          return Truncated("stats response");
+        }
+      }
+      if (!r.GetU32(&count) || !r.Plausible(count, 41)) {
+        return Truncated("stats response");
+      }
+      st.traces.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        WireTrace& t = st.traces[i];
+        uint32_t num_spans = 0;
+        if (!r.GetName(&t.op) || !r.GetU64(&t.detail) ||
+            !r.GetU64(&t.total_ns) || !r.GetU64(&t.snapshot_version) ||
+            !r.GetU64(&t.unix_ms) || !r.GetU32(&t.dropped_spans) ||
+            !r.GetU32(&num_spans) || !r.Plausible(num_spans, 21)) {
+          return Truncated("stats response");
+        }
+        t.spans.resize(num_spans);
+        for (uint32_t j = 0; j < num_spans; ++j) {
+          WireSpan& s = t.spans[j];
+          uint32_t shard_bits = 0;
+          if (!r.GetName(&s.name) || !r.GetU32(&shard_bits) ||
+              !r.GetU64(&s.start_ns) || !r.GetU64(&s.end_ns)) {
+            return Truncated("stats response");
+          }
+          s.shard = static_cast<int32_t>(shard_bits);
+        }
+      }
+      break;
+    }
     case MessageType::kError:
       break;  // ok-status error frame: nothing further
   }
   if (!r.Done()) return Status::InvalidArgument("trailing response bytes");
   return Status::OK();
+}
+
+std::string WireStatsToJson(const WireStats& stats) {
+  std::string out = "{\"counters\":{";
+  for (size_t i = 0; i < stats.counters.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += "\"" + stats.counters[i].first +
+           "\":" + std::to_string(stats.counters[i].second);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < stats.histograms.size(); ++i) {
+    const WireHistogram& h = stats.histograms[i];
+    if (i != 0) out.push_back(',');
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%llu,\"sum_ns\":%llu,\"p50_ns\":%llu,"
+                  "\"p90_ns\":%llu,\"p99_ns\":%llu,\"max_ns\":%llu}",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum_ns),
+                  static_cast<unsigned long long>(h.p50_ns),
+                  static_cast<unsigned long long>(h.p90_ns),
+                  static_cast<unsigned long long>(h.p99_ns),
+                  static_cast<unsigned long long>(h.max_ns));
+    out += buf;
+  }
+  out += "},\"traces\":[";
+  for (size_t i = 0; i < stats.traces.size(); ++i) {
+    const WireTrace& t = stats.traces[i];
+    if (i != 0) out.push_back(',');
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"op\":\"%s\",\"detail\":%llu,\"total_ms\":%.3f,"
+                  "\"snapshot_version\":%llu,\"unix_ms\":%llu,"
+                  "\"dropped_spans\":%u,\"spans\":[",
+                  t.op.c_str(), static_cast<unsigned long long>(t.detail),
+                  static_cast<double>(t.total_ns) / 1e6,
+                  static_cast<unsigned long long>(t.snapshot_version),
+                  static_cast<unsigned long long>(t.unix_ms),
+                  t.dropped_spans);
+    out += buf;
+    for (size_t j = 0; j < t.spans.size(); ++j) {
+      const WireSpan& s = t.spans[j];
+      if (j != 0) out.push_back(',');
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"shard\":%d,\"start_us\":%.1f,"
+                    "\"end_us\":%.1f}",
+                    s.name.c_str(), s.shard,
+                    static_cast<double>(s.start_ns) / 1e3,
+                    static_cast<double>(s.end_ns) / 1e3);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
 }
 
 FrameAssembler::Result FrameAssembler::Next(std::string* payload) {

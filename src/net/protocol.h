@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -51,7 +52,53 @@ enum class MessageType : uint8_t {
   kSum = 1,     // batch of per-facility service-value queries
   kTopK = 2,    // batch of kMaxRRST queries
   kUpdate = 3,  // trajectory inserts + removes (a write batch)
+  kStats = 4,   // metrics + latency histograms + recent traces introspection
 };
+
+/// One latency histogram summary inside a stats response — the wire form of
+/// a runtime HistogramSnapshot (name = OpFamilyName; times in nanoseconds).
+struct WireHistogram {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p90_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+/// One span of a wire trace; start/end are offsets from the trace start.
+struct WireSpan {
+  std::string name;
+  int32_t shard = -1;  // -1 = not shard-specific
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+};
+
+/// One finished query/frame trace inside a stats response — the wire form
+/// of a runtime Trace.
+struct WireTrace {
+  std::string op;
+  uint64_t detail = 0;
+  uint64_t total_ns = 0;
+  uint64_t snapshot_version = 0;
+  uint64_t unix_ms = 0;
+  uint32_t dropped_spans = 0;
+  std::vector<WireSpan> spans;
+};
+
+/// Full payload of a kStats response: every registry counter by name (in
+/// registry declaration order), every per-op latency histogram, and the
+/// server's recent traces sorted slowest-first.
+struct WireStats {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<WireHistogram> histograms;
+  std::vector<WireTrace> traces;
+};
+
+/// Machine-parsable one-line JSON rendering of a scraped WireStats (the
+/// `# json:` form `tqcover_cli stats` emits; CI parses it).
+std::string WireStatsToJson(const WireStats& stats);
 
 /// One decoded request frame. Exactly the fields of the frame's type are
 /// populated; ψ = 0 means "serve with the engine's configured ψ", any other
@@ -65,6 +112,8 @@ struct NetRequest {
   /// off the first point); DecodeRequest rejects empty ones.
   std::vector<std::vector<Point>> inserts;
   std::vector<uint32_t> removes;            // kUpdate: global trajectory ids
+  /// kStats: cap on returned traces (the server additionally clamps).
+  uint32_t stats_max_traces = 0;
 
   static NetRequest Sum(std::vector<FacilityId> facilities) {
     NetRequest r;
@@ -84,6 +133,12 @@ struct NetRequest {
     r.type = MessageType::kUpdate;
     r.inserts = std::move(inserts);
     r.removes = std::move(removes);
+    return r;
+  }
+  static NetRequest Stats(uint32_t max_traces) {
+    NetRequest r;
+    r.type = MessageType::kStats;
+    r.stats_max_traces = max_traces;
     return r;
   }
 };
@@ -114,6 +169,7 @@ struct NetResponse {
   std::vector<RankedResult> topks;            // kTopK, frame order
   std::vector<uint64_t> shard_generations;    // kUpdate: post-publish gens
   std::vector<uint32_t> assigned_ids;         // kUpdate: ids for `inserts`
+  WireStats stats;                            // kStats
 };
 
 /// Appends one whole frame (header + payload) for `request` to `*out`.

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -50,6 +51,7 @@ struct NetServer::Connection {
   const int fd;
   // --- event-loop thread only ---
   FrameAssembler frames;
+  uint64_t frames_seen = 0;  // drives frame-trace sampling
   bool want_write = false;  // EPOLLOUT armed
   bool closing = false;     // stop reading; close once fifo+outbox drain
 
@@ -68,6 +70,7 @@ struct NetServer::Connection {
 struct NetServer::PendingUpdate {
   std::shared_ptr<Connection> conn;
   uint64_t seq = 0;
+  uint64_t rx_ns = 0;  // decode timestamp; coalescing wait counts as frame time
   std::vector<std::vector<Point>> inserts;
   std::vector<uint32_t> removes;
 };
@@ -83,6 +86,55 @@ struct FrameState {
   std::vector<Result> results;
   std::atomic<uint64_t> snapshot_version{0};
 };
+
+/// The server answers a kStats frame from a registry snapshot plus the
+/// tracer's recent ring, slowest trace first (the "recent slow traces" the
+/// protocol promises). Computed at frame-DECODE time — responses pipelined
+/// behind in-flight queries do not include them; see docs/PROTOCOL.md.
+WireStats BuildWireStats(const runtime::MetricsView& m,
+                         std::vector<runtime::Trace> traces) {
+  WireStats st;
+  m.ForEachCounter([&st](const char* name, uint64_t value) {
+    st.counters.emplace_back(name, value);
+  });
+  st.histograms.reserve(runtime::kNumOpFamilies);
+  for (size_t f = 0; f < runtime::kNumOpFamilies; ++f) {
+    const runtime::HistogramSnapshot& h = m.op_histograms[f];
+    WireHistogram wh;
+    wh.name = runtime::OpFamilyName(static_cast<runtime::OpFamily>(f));
+    wh.count = h.count;
+    wh.sum_ns = h.sum_ns;
+    wh.p50_ns = h.Percentile(0.50);
+    wh.p90_ns = h.Percentile(0.90);
+    wh.p99_ns = h.Percentile(0.99);
+    wh.max_ns = h.MaxNs();
+    st.histograms.push_back(std::move(wh));
+  }
+  std::sort(traces.begin(), traces.end(),
+            [](const runtime::Trace& a, const runtime::Trace& b) {
+              return a.total_ns > b.total_ns;
+            });
+  st.traces.reserve(traces.size());
+  for (runtime::Trace& t : traces) {
+    WireTrace wt;
+    wt.op = std::move(t.op);
+    wt.detail = t.detail;
+    wt.total_ns = t.total_ns;
+    wt.snapshot_version = t.snapshot_version;
+    wt.unix_ms = static_cast<uint64_t>(t.unix_ms);
+    wt.dropped_spans = t.dropped_spans;
+    wt.spans.reserve(t.spans.size());
+    for (runtime::Trace::Span& s : t.spans) {
+      wt.spans.push_back(
+          WireSpan{std::move(s.name), s.shard, s.start_ns, s.end_ns});
+    }
+    st.traces.push_back(std::move(wt));
+  }
+  return st;
+}
+
+/// Hard cap on traces in one stats response, whatever the client asked for.
+constexpr uint32_t kMaxStatsTraces = 64;
 
 }  // namespace
 
@@ -340,6 +392,11 @@ uint64_t NetServer::AllocSlot(Connection* conn) {
 
 void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
                             const std::string& payload) {
+  // Frame receive timestamp: start of the kNetFrame decode→respond
+  // histogram window (0 when latency recording is off — no clock read).
+  const uint64_t rx_ns =
+      metrics_->latency_recording() ? runtime::NowNs() : 0;
+  const uint64_t frame_idx = conn->frames_seen++;
   NetRequest request;
   const Status st = DecodeRequest(payload, &request);
   if (!st.ok()) {
@@ -359,24 +416,56 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     resp.snapshot_version = engine_->snapshot()->version;
     std::string bytes;
     EncodeResponse(resp, &bytes);
-    Complete(conn, AllocSlot(conn.get()), std::move(bytes));
+    Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
     return;
+  }
+  // Sampled frame trace for the read paths: the frame's sub-queries share
+  // one context (decode span here, per-shard spans in the engine, encode
+  // span + Finish in the last completion).
+  runtime::TraceContextPtr trace;
+  if (options_.trace_sample != 0 &&
+      frame_idx % options_.trace_sample == 0 &&
+      (request.type == MessageType::kSum ||
+       request.type == MessageType::kTopK)) {
+    const bool sum = request.type == MessageType::kSum;
+    trace = engine_->tracer().Start(
+        sum ? "net_sum" : "net_topk",
+        sum ? request.facilities.size() : request.ks.size(), rx_ns);
+    if (rx_ns != 0) trace->AddSpan("decode", -1, rx_ns, runtime::NowNs());
   }
   switch (request.type) {
     case MessageType::kSum:
-      DispatchSum(conn, AllocSlot(conn.get()), std::move(request));
+      DispatchSum(conn, AllocSlot(conn.get()), std::move(request),
+                  std::move(trace), rx_ns);
       break;
     case MessageType::kTopK:
-      DispatchTopK(conn, AllocSlot(conn.get()), std::move(request));
+      DispatchTopK(conn, AllocSlot(conn.get()), std::move(request),
+                   std::move(trace), rx_ns);
       break;
     case MessageType::kUpdate: {
       PendingUpdate pending;
       pending.conn = conn;
       pending.seq = AllocSlot(conn.get());
+      pending.rx_ns = rx_ns;
       pending.inserts = std::move(request.inserts);
       pending.removes = std::move(request.removes);
       pending_updates_.push_back(std::move(pending));
       if (pending_updates_.size() >= options_.update_batch) FlushUpdates();
+      break;
+    }
+    case MessageType::kStats: {
+      // Answered inline on the loop thread — a pure read of atomics plus a
+      // bounded ring copy, so it cannot block behind the worker pool.
+      NetResponse resp;
+      resp.type = MessageType::kStats;
+      resp.snapshot_version = engine_->snapshot()->version;
+      const uint32_t max_traces =
+          std::min(request.stats_max_traces, kMaxStatsTraces);
+      resp.stats = BuildWireStats(metrics_->Read(),
+                                  engine_->tracer().Recent(max_traces));
+      std::string bytes;
+      EncodeResponse(resp, &bytes);
+      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
       break;
     }
     case MessageType::kError:
@@ -392,14 +481,17 @@ void NetServer::DispatchBatch(
     size_t count,
     const std::function<runtime::QueryRequest(size_t)>& make_request,
     std::function<Result(runtime::QueryResponse&&)> extract,
-    std::vector<Result> NetResponse::* results_field) {
+    std::vector<Result> NetResponse::* results_field,
+    runtime::TraceContextPtr trace, uint64_t rx_ns) {
   if (count == 0) {
     NetResponse header;
     header.type = type;
     header.snapshot_version = engine_->snapshot()->version;
     std::string bytes;
     EncodeResponse(header, &bytes);
-    Complete(conn, seq, std::move(bytes));
+    Complete(conn, seq, std::move(bytes), rx_ns);
+    if (trace) engine_->mutable_tracer()->Finish(*trace,
+                                                 header.snapshot_version);
     return;
   }
   auto state = std::make_shared<FrameState<Result>>(count);
@@ -409,8 +501,8 @@ void NetServer::DispatchBatch(
   }
   for (size_t i = 0; i < count; ++i) {
     engine_->SubmitAsync(
-        make_request(i),
-        [this, conn, seq, state, type, extract, results_field,
+        make_request(i), trace,
+        [this, conn, seq, state, type, extract, results_field, trace, rx_ns,
          i](runtime::QueryResponse r) {
           RaiseVersion(&state->snapshot_version, r.snapshot_version);
           state->results[i] = extract(std::move(r));
@@ -422,18 +514,30 @@ void NetServer::DispatchBatch(
             resp.snapshot_version =
                 state->snapshot_version.load(std::memory_order_relaxed);
             resp.*results_field = std::move(state->results);
+            const uint64_t encode_t0 = trace ? runtime::NowNs() : 0;
             std::string bytes;
             EncodeResponse(resp, &bytes);
-            Complete(conn, seq, std::move(bytes));
+            if (trace) {
+              trace->AddSpan("encode", -1, encode_t0, runtime::NowNs());
+            }
+            Complete(conn, seq, std::move(bytes), rx_ns);
+            // The frame trace ends once its response is staged; the barrier
+            // above ordered every sub-query's spans before this read.
+            if (trace) {
+              engine_->mutable_tracer()->Finish(*trace,
+                                                resp.snapshot_version);
+            }
           }
           std::lock_guard<std::mutex> lock(inflight_mu_);
           if (--inflight_ == 0) inflight_cv_.notify_all();
-        });
+        },
+        rx_ns);
   }
 }
 
 void NetServer::DispatchSum(const std::shared_ptr<Connection>& conn,
-                            uint64_t seq, NetRequest request) {
+                            uint64_t seq, NetRequest request,
+                            runtime::TraceContextPtr trace, uint64_t rx_ns) {
   DispatchBatch<SumResult>(
       conn, seq, MessageType::kSum, request.facilities.size(),
       [&request](size_t i) {
@@ -442,11 +546,12 @@ void NetServer::DispatchSum(const std::shared_ptr<Connection>& conn,
       [](runtime::QueryResponse&& r) {
         return SumResult{r.status.code(), r.value};
       },
-      &NetResponse::sums);
+      &NetResponse::sums, std::move(trace), rx_ns);
 }
 
 void NetServer::DispatchTopK(const std::shared_ptr<Connection>& conn,
-                             uint64_t seq, NetRequest request) {
+                             uint64_t seq, NetRequest request,
+                             runtime::TraceContextPtr trace, uint64_t rx_ns) {
   DispatchBatch<RankedResult>(
       conn, seq, MessageType::kTopK, request.ks.size(),
       [&request](size_t i) {
@@ -455,7 +560,7 @@ void NetServer::DispatchTopK(const std::shared_ptr<Connection>& conn,
       [](runtime::QueryResponse&& r) {
         return RankedResult{r.status.code(), std::move(r.ranked)};
       },
-      &NetResponse::topks);
+      &NetResponse::topks, std::move(trace), rx_ns);
 }
 
 void NetServer::FlushUpdates() {
@@ -499,12 +604,21 @@ void NetServer::FlushUpdates() {
     id_offset += insert_counts[i];
     std::string bytes;
     EncodeResponse(resp, &bytes);
-    Complete(pending[i].conn, pending[i].seq, std::move(bytes));
+    Complete(pending[i].conn, pending[i].seq, std::move(bytes),
+             pending[i].rx_ns);
   }
 }
 
 void NetServer::Complete(const std::shared_ptr<Connection>& conn,
-                         uint64_t seq, std::string frame_bytes) {
+                         uint64_t seq, std::string frame_bytes,
+                         uint64_t rx_ns) {
+  // Decode-to-staged latency; writes drained later by the loop are not
+  // counted (the histogram measures serving latency, not socket drain).
+  if (rx_ns != 0) {
+    const uint64_t now = runtime::NowNs();
+    metrics_->RecordLatency(runtime::OpFamily::kNetFrame,
+                            now > rx_ns ? now - rx_ns : 0);
+  }
   // Responses honor the same frame cap requests do — a peer's assembler
   // would reject anything larger as unframeable. The request stays
   // answered (slot accounting intact), just with an error the client can

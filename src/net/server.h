@@ -69,6 +69,13 @@ struct NetServerOptions {
   /// connections' traffic.
   size_t update_batch = 1;
   int listen_backlog = 64;
+  /// Per-connection frame-trace sampling: every `trace_sample`-th read
+  /// frame (the first included) gets a TraceContext threaded through its
+  /// sub-queries and lands in the engine's recent-trace ring. 0 disables
+  /// frame traces entirely. Sampling keeps the pipelined hot path's
+  /// allocation cost amortized; untraced cache-miss queries still get
+  /// engine-owned traces, so slow-query coverage does not depend on it.
+  size_t trace_sample = 32;
 };
 
 /// The TCP front-end. Construction binds nothing; Start() binds, listens,
@@ -104,26 +111,34 @@ class NetServer {
   void HandleFrame(const std::shared_ptr<Connection>& conn,
                    const std::string& payload);
   void DispatchSum(const std::shared_ptr<Connection>& conn, uint64_t seq,
-                   NetRequest request);
+                   NetRequest request, runtime::TraceContextPtr trace,
+                   uint64_t rx_ns);
   void DispatchTopK(const std::shared_ptr<Connection>& conn, uint64_t seq,
-                    NetRequest request);
+                    NetRequest request, runtime::TraceContextPtr trace,
+                    uint64_t rx_ns);
   /// The shared fan-in machinery of both batched read paths: one engine
   /// sub-query per item (`make_request` is only invoked during this call),
   /// each completion extracts its per-query Result, and the last one
   /// encodes the response frame into `results_field` and completes slot
-  /// `seq`.
+  /// `seq`. `trace` (nullable) is the frame's sampled trace — shared by
+  /// every sub-query, encode-span'd and finished by the last completion.
+  /// `rx_ns` (0 = untimed) is the frame's decode timestamp feeding the
+  /// kNetFrame histogram.
   template <typename Result>
   void DispatchBatch(
       const std::shared_ptr<Connection>& conn, uint64_t seq,
       MessageType type, size_t count,
       const std::function<runtime::QueryRequest(size_t)>& make_request,
       std::function<Result(runtime::QueryResponse&&)> extract,
-      std::vector<Result> NetResponse::* results_field);
+      std::vector<Result> NetResponse::* results_field,
+      runtime::TraceContextPtr trace, uint64_t rx_ns);
   void FlushUpdates();
   /// Fills slot `seq` with encoded bytes and stages any newly-ready FIFO
-  /// prefix for writing. Safe from any thread.
+  /// prefix for writing. Safe from any thread. A non-zero `rx_ns` (the
+  /// frame's decode timestamp) records decode-to-staged latency into the
+  /// kNetFrame histogram.
   void Complete(const std::shared_ptr<Connection>& conn, uint64_t seq,
-                std::string frame_bytes);
+                std::string frame_bytes, uint64_t rx_ns = 0);
   /// Non-blocking send of a connection's staged bytes (loop thread only).
   void FlushOutbox(const std::shared_ptr<Connection>& conn);
   void CloseConnection(const std::shared_ptr<Connection>& conn);

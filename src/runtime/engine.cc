@@ -12,7 +12,7 @@ Engine::Engine(TrajectorySet users, TrajectorySet facilities,
                EngineOptions options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
-      pool_(options.num_threads) {
+      pool_(options.num_threads, &metrics_) {
   auto users_ptr = std::make_shared<TrajectorySet>(std::move(users));
   auto facilities_ptr =
       std::make_shared<TrajectorySet>(std::move(facilities));
@@ -46,7 +46,20 @@ SnapshotPtr Engine::snapshot() const {
 }
 
 std::future<QueryResponse> Engine::Submit(QueryRequest request) {
-  return pool_.Submit([this, request]() { return Execute(request); });
+  // Submit-to-completion latency (includes pool queue wait, which the pool
+  // also tracks separately as kQueueWait). The clock read is gated on the
+  // recording toggle so disabling observability removes the whole cost.
+  const uint64_t t0 = metrics_.latency_recording() ? NowNs() : 0;
+  return pool_.Submit([this, request, t0]() {
+    QueryResponse response = Execute(request);
+    if (t0 != 0) {
+      metrics_.RecordLatency(request.kind == QueryKind::kTopK
+                                 ? OpFamily::kTopKQuery
+                                 : OpFamily::kServiceQuery,
+                             NowNs() - t0);
+    }
+    return response;
+  });
 }
 
 std::vector<QueryResponse> Engine::RunBatch(
@@ -159,6 +172,8 @@ std::vector<uint32_t> Engine::ApplyUpdates(const UpdateBatch& batch) {
       std::chrono::steady_clock::now() - publish_start);
   metrics_.AddPublishCost(cow.nodes_copied, cow.pages_shared(),
                           static_cast<uint64_t>(publish_ns.count()));
+  metrics_.RecordLatency(OpFamily::kPublish,
+                         static_cast<uint64_t>(publish_ns.count()));
   return new_ids;
 }
 

@@ -1,0 +1,72 @@
+#include "runtime/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tq::runtime {
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the target observation, 1-based: the smallest r with
+  // r >= p * count (at least 1 so p=0 reports the smallest bucket).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kHistNumBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      // Mid-point of the bucket; the overflow bucket has no upper edge, so
+      // it reports its lower bound (the 2^40 ns cap).
+      return HistBucketLowerBound(b) + HistBucketWidth(b) / 2;
+    }
+  }
+  return HistBucketLowerBound(kHistOverflowBucket);
+}
+
+uint64_t HistogramSnapshot::MaxNs() const {
+  for (size_t b = kHistNumBuckets; b-- > 0;) {
+    if (buckets[b] != 0) {
+      return HistBucketLowerBound(b) + HistBucketWidth(b);
+    }
+  }
+  return 0;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum_ns += other.sum_ns;
+  for (size_t b = 0; b < kHistNumBuckets; ++b) buckets[b] += other.buckets[b];
+}
+
+std::string HistogramSnapshot::ToJson() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum_ns\":%llu,\"p50_ns\":%llu,"
+                "\"p90_ns\":%llu,\"p99_ns\":%llu,\"max_ns\":%llu}",
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(sum_ns),
+                static_cast<unsigned long long>(Percentile(0.50)),
+                static_cast<unsigned long long>(Percentile(0.90)),
+                static_cast<unsigned long long>(Percentile(0.99)),
+                static_cast<unsigned long long>(MaxNs()));
+  return std::string(buf);
+}
+
+HistogramSnapshot LatencyHistogram::Read() const {
+  HistogramSnapshot snap;
+  for (size_t s = 0; s < kStripes; ++s) {
+    const Stripe& stripe = stripes_[s];
+    snap.sum_ns += stripe.sum_ns.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < kHistNumBuckets; ++b) {
+      const uint64_t c = stripe.buckets[b].load(std::memory_order_relaxed);
+      snap.buckets[b] += c;
+      snap.count += c;
+    }
+  }
+  return snap;
+}
+
+}  // namespace tq::runtime

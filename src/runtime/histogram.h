@@ -1,0 +1,177 @@
+// Thread-striped log-bucketed latency histograms for the serving runtime.
+//
+// One LatencyHistogram per operation family (OpFamily) lives inside the
+// MetricsRegistry; every worker/loop thread records nanosecond durations
+// into its own stripe with one relaxed fetch_add per sample — wait-free,
+// no cross-thread cache-line ping-pong on the hot path. Read() merges the
+// stripes into a plain-value HistogramSnapshot, which is mergeable across
+// histograms (bench clients each record locally and merge at the end) and
+// supports p50/p90/p99 extraction.
+//
+// Bucketing: values < 16 ns get exact unit buckets; above that each power
+// of two is split into 4 sub-buckets (relative quantile error ≤ 12.5%,
+// the mid-point of a bucket whose width is a quarter of its base). The
+// scheme tops out just above 18 minutes (2^40 ns); anything longer lands
+// in a single overflow bucket whose quantile reports the cap — a latency
+// that long is an outage, not a distribution point.
+#ifndef TQCOVER_RUNTIME_HISTOGRAM_H_
+#define TQCOVER_RUNTIME_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace tq::runtime {
+
+/// Monotonic now in nanoseconds (steady_clock; never 0 on any real system,
+/// so 0 doubles as "timestamp not taken" in gated instrumentation paths).
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The per-operation latency families the registry keeps histograms for.
+/// OpFamilyName() and the stats wire frame use the enumerator order; append
+/// only (the JSON/wire names are part of the observability surface).
+enum class OpFamily : uint8_t {
+  kServiceQuery = 0,  // submit -> completion of one kServiceValue query
+  kTopKQuery,         // submit -> completion of one kTopK query
+  kPublish,           // ApplyUpdates wall time (fork + deltas + freeze + swap)
+  kShardTask,         // one per-shard scatter task (sweep, eval or refine);
+                      // SAMPLED 1-in-32 (MetricsRegistry::SampleTask)
+  kQueueWait,         // thread-pool Post -> task start; SAMPLED 1-in-32
+  kNetFrame,          // net frame decoded -> response staged for writing
+};
+inline constexpr size_t kNumOpFamilies = 6;
+
+constexpr const char* OpFamilyName(OpFamily f) {
+  switch (f) {
+    case OpFamily::kServiceQuery:
+      return "service_query";
+    case OpFamily::kTopKQuery:
+      return "topk_query";
+    case OpFamily::kPublish:
+      return "publish";
+    case OpFamily::kShardTask:
+      return "shard_task";
+    case OpFamily::kQueueWait:
+      return "queue_wait";
+    case OpFamily::kNetFrame:
+      return "net_frame";
+  }
+  return "unknown";
+}
+
+/// Bucket layout shared by LatencyHistogram and HistogramSnapshot.
+///   [0, 16)            16 exact unit buckets
+///   [2^m, 2^(m+1))     4 sub-buckets each, m = 4 .. 39
+///   [2^40, inf)        1 overflow bucket
+inline constexpr size_t kHistSubBits = 2;          // 4 sub-buckets / octave
+inline constexpr size_t kHistMinOctave = 4;        // exact below 2^4 ns
+inline constexpr size_t kHistMaxOctave = 40;       // overflow at 2^40 ns
+inline constexpr size_t kHistOverflowBucket =
+    16 + (kHistMaxOctave - kHistMinOctave) * (1u << kHistSubBits);
+inline constexpr size_t kHistNumBuckets = kHistOverflowBucket + 1;  // 161
+
+constexpr size_t HistBucketFor(uint64_t ns) {
+  if (ns < (1u << kHistMinOctave)) return static_cast<size_t>(ns);
+  const auto octave = static_cast<size_t>(std::bit_width(ns)) - 1;
+  if (octave >= kHistMaxOctave) return kHistOverflowBucket;
+  const size_t sub =
+      static_cast<size_t>(ns >> (octave - kHistSubBits)) &
+      ((1u << kHistSubBits) - 1);
+  return 16 + (octave - kHistMinOctave) * (1u << kHistSubBits) + sub;
+}
+
+constexpr uint64_t HistBucketLowerBound(size_t bucket) {
+  if (bucket < 16) return bucket;
+  if (bucket >= kHistOverflowBucket) return uint64_t{1} << kHistMaxOctave;
+  const size_t rel = bucket - 16;
+  const size_t octave = kHistMinOctave + rel / (1u << kHistSubBits);
+  const size_t sub = rel % (1u << kHistSubBits);
+  return (uint64_t{1} << octave) +
+         static_cast<uint64_t>(sub) * (uint64_t{1} << (octave - kHistSubBits));
+}
+
+/// Half-open width of a bucket (0 for the overflow bucket: its "width" is
+/// unbounded, quantiles report the cap instead of a mid-point).
+constexpr uint64_t HistBucketWidth(size_t bucket) {
+  if (bucket < 16) return 1;
+  if (bucket >= kHistOverflowBucket) return 0;
+  const size_t octave =
+      kHistMinOctave + (bucket - 16) / (1u << kHistSubBits);
+  return uint64_t{1} << (octave - kHistSubBits);
+}
+
+/// Plain-value merged view of a histogram: counts per bucket plus totals.
+/// Safe to copy, Merge and format from any thread.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  std::array<uint64_t, kHistNumBuckets> buckets{};
+
+  /// Quantile in nanoseconds (bucket mid-point; overflow reports the cap).
+  /// p in [0, 1]; 0 observations yield 0.
+  uint64_t Percentile(double p) const;
+  /// Upper edge of the highest non-empty bucket (the cap for overflow) —
+  /// an upper bound on the largest recorded value.
+  uint64_t MaxNs() const;
+  double MeanNs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            static_cast<double>(count);
+  }
+  /// Pointwise accumulation — stripes, bench clients and shards merge into
+  /// one distribution this way.
+  void Merge(const HistogramSnapshot& other);
+  /// {"count":..,"sum_ns":..,"p50_ns":..,"p90_ns":..,"p99_ns":..,"max_ns":..}
+  std::string ToJson() const;
+};
+
+/// Wait-free multi-writer latency histogram. Record() is one bucket index
+/// computation plus two relaxed fetch_adds on a thread-local stripe; Read()
+/// (the monitoring path) merges all stripes.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kStripes = 8;  // power of two
+
+  LatencyHistogram() : stripes_(std::make_unique<Stripe[]>(kStripes)) {}
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t ns) {
+    Stripe& s = stripes_[StripeIndex()];
+    s.buckets[HistBucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    s.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Read() const;
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> buckets[kHistNumBuckets] = {};
+    std::atomic<uint64_t> sum_ns{0};
+  };
+
+  /// Threads are assigned stripes round-robin on first record; the index is
+  /// cached thread-local, so the steady-state cost is one TLS read.
+  static size_t StripeIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t idx =
+        next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+    return idx;
+  }
+
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace tq::runtime
+
+#endif  // TQCOVER_RUNTIME_HISTOGRAM_H_

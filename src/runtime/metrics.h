@@ -1,4 +1,4 @@
-// Lock-free operational counters for the concurrent query runtime.
+// Lock-free operational counters + latency histograms for the query runtime.
 //
 // One MetricsRegistry lives inside each runtime::Engine; every worker thread
 // bumps the atomics as it executes queries, and the per-query QueryStats
@@ -7,66 +7,91 @@
 // ablation benches do. Read() takes a consistent-enough snapshot for
 // monitoring (each field is individually atomic; cross-field skew of a few
 // in-flight queries is acceptable by design).
+//
+// The counter set is declared ONCE, in the TQ_METRICS_COUNTERS X-macro
+// below; the MetricsView fields, the registry atomics, Read(), ToJson()
+// and ForEachCounter() are all generated from it, so the JSON key set, the
+// stats wire frame, and the struct can never drift apart (the drift-guard
+// test in tests/test_observability.cc holds by construction).
+//
+// Latency distributions (runtime/histogram.h) ride alongside the counters:
+// one wait-free LatencyHistogram per OpFamily, recorded through
+// RecordLatency(). set_latency_recording(false) turns the whole latency
+// layer off — including the clock reads feeding it — which is how
+// bench_net_throughput measures the instrumentation overhead.
 #ifndef TQCOVER_RUNTIME_METRICS_H_
 #define TQCOVER_RUNTIME_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
 
 #include "query/query_stats.h"
+#include "runtime/histogram.h"
 
 namespace tq::runtime {
 
+// The single source of truth for the counter set. Field semantics:
+//   queries_total/service_queries/topk_queries  queries submitted, by kind
+//   cache_*                  result-cache hits / misses / LRU evictions /
+//                            entries invalidated by republishes
+//   snapshots_published      engine-wide snapshot swaps
+//   shard_tasks              per-shard scatter tasks executed (sharded only)
+//   shard_publishes          individual shard snapshots republished (a
+//                            publish touching 2 of 8 shards counts 2)
+//   trajectories_*           write-batch insert / remove totals
+//   nodes_copied/pages_shared/publish_ns
+//                            copy-on-write publish accounting: nodes
+//                            physically duplicated, node pages still shared
+//                            at publish time, total ApplyUpdates wall ns
+//   facilities_evaluated/facilities_pruned/prune_rounds
+//                            bound-and-prune top-k accounting: exact
+//                            per-shard evaluations done vs. skipped, and
+//                            coordinator rounds run (1 or 2 per query)
+//   nodes_visited/entries_scanned/exact_checks/heap_pops
+//                            folded per-query traversal QueryStats
+//   net_*                    network front-end accounting (src/net/server.h):
+//                            connections accepted, frames decoded, update
+//                            frames merged into a pending publish, payload
+//                            bytes in / out incl. the 4-byte frame headers
+#define TQ_METRICS_COUNTERS(X) \
+  X(queries_total)             \
+  X(service_queries)           \
+  X(topk_queries)              \
+  X(cache_hits)                \
+  X(cache_misses)              \
+  X(cache_evictions)           \
+  X(cache_invalidated)         \
+  X(snapshots_published)       \
+  X(shard_tasks)               \
+  X(shard_publishes)           \
+  X(trajectories_inserted)     \
+  X(trajectories_removed)      \
+  X(nodes_copied)              \
+  X(pages_shared)              \
+  X(publish_ns)                \
+  X(facilities_evaluated)      \
+  X(facilities_pruned)         \
+  X(prune_rounds)              \
+  X(nodes_visited)             \
+  X(entries_scanned)           \
+  X(exact_checks)              \
+  X(heap_pops)                 \
+  X(net_connections)           \
+  X(net_requests_decoded)      \
+  X(net_batches_coalesced)     \
+  X(net_bytes_in)              \
+  X(net_bytes_out)
+
 /// Plain-value snapshot of a MetricsRegistry, safe to copy and format.
 struct MetricsView {
-  uint64_t queries_total = 0;
-  uint64_t service_queries = 0;
-  uint64_t topk_queries = 0;
-  uint64_t cache_hits = 0;
-  uint64_t cache_misses = 0;
-  uint64_t cache_evictions = 0;
-  uint64_t cache_invalidated = 0;
-  uint64_t snapshots_published = 0;
-  /// Per-shard scatter tasks executed by the sharded engine (one query fans
-  /// out into num_shards of these); 0 on the unsharded engine.
-  uint64_t shard_tasks = 0;
-  /// Individual shard snapshots republished by writers (a single publish
-  /// touching 2 of 8 shards counts 2); 0 on the unsharded engine.
-  uint64_t shard_publishes = 0;
-  uint64_t trajectories_inserted = 0;
-  uint64_t trajectories_removed = 0;
-  /// Write-path copy-on-write accounting (persistent path-copying
-  /// snapshots): nodes physically duplicated by forked publishes, node
-  /// pages still shared with the previous snapshot at publish time, and
-  /// total wall time spent inside ApplyUpdates (fork + deltas + freeze +
-  /// swap), in nanoseconds. All 0 until the first post-construction publish.
-  uint64_t nodes_copied = 0;
-  uint64_t pages_shared = 0;
-  uint64_t publish_ns = 0;
-  /// Bound-and-prune top-k accounting (sharded engine): per-shard exact
-  /// facility evaluations the pruned protocol performed vs. the ones the
-  /// bound let it skip (exhaustive sweep = facilities × shards evaluations,
-  /// facilities_pruned = 0), and coordinator rounds run (1 when round 1
-  /// already refined every candidate, else 2). All 0 on the unsharded
-  /// engine and for exhaustive-mode gathers.
-  uint64_t facilities_evaluated = 0;
-  uint64_t facilities_pruned = 0;
-  uint64_t prune_rounds = 0;
-  uint64_t nodes_visited = 0;
-  uint64_t entries_scanned = 0;
-  uint64_t exact_checks = 0;
-  uint64_t heap_pops = 0;
-  /// Network front-end accounting (src/net/server.h; all 0 when the engine
-  /// is driven in-process): connections accepted, request frames decoded
-  /// off the wire, update frames merged into an already-pending publish
-  /// (a flush combining m frames adds m − 1), and payload bytes received /
-  /// sent including the 4-byte frame headers.
-  uint64_t net_connections = 0;
-  uint64_t net_requests_decoded = 0;
-  uint64_t net_batches_coalesced = 0;
-  uint64_t net_bytes_in = 0;
-  uint64_t net_bytes_out = 0;
+#define TQ_METRICS_FIELD(name) uint64_t name = 0;
+  TQ_METRICS_COUNTERS(TQ_METRICS_FIELD)
+#undef TQ_METRICS_FIELD
+
+  /// Merged per-OpFamily latency distributions, indexed by OpFamily value.
+  std::array<HistogramSnapshot, kNumOpFamilies> op_histograms{};
 
   double CacheHitRate() const {
     const uint64_t looked = cache_hits + cache_misses;
@@ -75,44 +100,35 @@ struct MetricsView {
                              static_cast<double>(looked);
   }
 
-  /// One-object JSON rendering (keys match the field names).
+  /// Visits every counter as (name, value) in declaration order — the
+  /// stats wire encoding and the drift-guard test iterate this way.
+  template <typename Fn>
+  void ForEachCounter(Fn&& fn) const {
+#define TQ_METRICS_VISIT(name) fn(#name, name);
+    TQ_METRICS_COUNTERS(TQ_METRICS_VISIT)
+#undef TQ_METRICS_VISIT
+  }
+
+  /// One-object JSON rendering: every counter keyed by its field name, plus
+  /// a "histograms" sub-object keyed by OpFamilyName.
   std::string ToJson() const {
     std::string s = "{";
-    auto field = [&s](const char* k, uint64_t v) {
+    ForEachCounter([&s](const char* k, uint64_t v) {
       if (s.size() > 1) s += ",";
       s += "\"";
       s += k;
       s += "\":";
       s += std::to_string(v);
-    };
-    field("queries_total", queries_total);
-    field("service_queries", service_queries);
-    field("topk_queries", topk_queries);
-    field("cache_hits", cache_hits);
-    field("cache_misses", cache_misses);
-    field("cache_evictions", cache_evictions);
-    field("cache_invalidated", cache_invalidated);
-    field("snapshots_published", snapshots_published);
-    field("shard_tasks", shard_tasks);
-    field("shard_publishes", shard_publishes);
-    field("trajectories_inserted", trajectories_inserted);
-    field("trajectories_removed", trajectories_removed);
-    field("nodes_copied", nodes_copied);
-    field("pages_shared", pages_shared);
-    field("publish_ns", publish_ns);
-    field("facilities_evaluated", facilities_evaluated);
-    field("facilities_pruned", facilities_pruned);
-    field("prune_rounds", prune_rounds);
-    field("nodes_visited", nodes_visited);
-    field("entries_scanned", entries_scanned);
-    field("exact_checks", exact_checks);
-    field("heap_pops", heap_pops);
-    field("net_connections", net_connections);
-    field("net_requests_decoded", net_requests_decoded);
-    field("net_batches_coalesced", net_batches_coalesced);
-    field("net_bytes_in", net_bytes_in);
-    field("net_bytes_out", net_bytes_out);
-    s += "}";
+    });
+    s += ",\"histograms\":{";
+    for (size_t f = 0; f < kNumOpFamilies; ++f) {
+      if (f != 0) s += ",";
+      s += "\"";
+      s += OpFamilyName(static_cast<OpFamily>(f));
+      s += "\":";
+      s += op_histograms[f].ToJson();
+    }
+    s += "}}";
     return s;
   }
 };
@@ -196,72 +212,54 @@ class MetricsRegistry {
     heap_pops_.fetch_add(s.heap_pops, std::memory_order_relaxed);
   }
 
+  /// One latency sample for the given family. Callers gate the clock reads
+  /// feeding this on latency_recording() so disabling the layer removes the
+  /// whole cost, not just the fetch_add (see e.g. ShardedEngine).
+  void RecordLatency(OpFamily family, uint64_t ns) {
+    if (!latency_recording()) return;
+    histograms_[static_cast<size_t>(family)].Record(ns);
+  }
+  bool latency_recording() const {
+    return latency_recording_.load(std::memory_order_relaxed);
+  }
+  void set_latency_recording(bool on) {
+    latency_recording_.store(on, std::memory_order_relaxed);
+  }
+  /// 1-in-32 gate for the PER-TASK families (kShardTask, kQueueWait): a
+  /// query fans into num_shards tasks, each wanting 2-3 clock reads, which
+  /// dominates the layer's hot-path cost when cores are scarce. The
+  /// end-to-end families (service/topk/net_frame/publish) stay complete —
+  /// sampling here only widens the per-task histograms' confidence
+  /// interval, never breaks the count == queries_total invariant.
+  /// Thread-local counter: contention-free, per-thread round-robin.
+  static bool SampleTask() {
+    thread_local uint32_t n = 0;
+    return (n++ % kTaskSampleEvery) == 0;
+  }
+  static constexpr uint32_t kTaskSampleEvery = 32;
+  const LatencyHistogram& histogram(OpFamily family) const {
+    return histograms_[static_cast<size_t>(family)];
+  }
+
   MetricsView Read() const {
     MetricsView v;
-    v.queries_total = queries_total_.load(std::memory_order_relaxed);
-    v.service_queries = service_queries_.load(std::memory_order_relaxed);
-    v.topk_queries = topk_queries_.load(std::memory_order_relaxed);
-    v.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-    v.cache_misses = cache_misses_.load(std::memory_order_relaxed);
-    v.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
-    v.cache_invalidated = cache_invalidated_.load(std::memory_order_relaxed);
-    v.snapshots_published =
-        snapshots_published_.load(std::memory_order_relaxed);
-    v.shard_tasks = shard_tasks_.load(std::memory_order_relaxed);
-    v.shard_publishes = shard_publishes_.load(std::memory_order_relaxed);
-    v.trajectories_inserted =
-        trajectories_inserted_.load(std::memory_order_relaxed);
-    v.trajectories_removed =
-        trajectories_removed_.load(std::memory_order_relaxed);
-    v.nodes_copied = nodes_copied_.load(std::memory_order_relaxed);
-    v.pages_shared = pages_shared_.load(std::memory_order_relaxed);
-    v.publish_ns = publish_ns_.load(std::memory_order_relaxed);
-    v.facilities_evaluated =
-        facilities_evaluated_.load(std::memory_order_relaxed);
-    v.facilities_pruned = facilities_pruned_.load(std::memory_order_relaxed);
-    v.prune_rounds = prune_rounds_.load(std::memory_order_relaxed);
-    v.nodes_visited = nodes_visited_.load(std::memory_order_relaxed);
-    v.entries_scanned = entries_scanned_.load(std::memory_order_relaxed);
-    v.exact_checks = exact_checks_.load(std::memory_order_relaxed);
-    v.heap_pops = heap_pops_.load(std::memory_order_relaxed);
-    v.net_connections = net_connections_.load(std::memory_order_relaxed);
-    v.net_requests_decoded =
-        net_requests_decoded_.load(std::memory_order_relaxed);
-    v.net_batches_coalesced =
-        net_batches_coalesced_.load(std::memory_order_relaxed);
-    v.net_bytes_in = net_bytes_in_.load(std::memory_order_relaxed);
-    v.net_bytes_out = net_bytes_out_.load(std::memory_order_relaxed);
+#define TQ_METRICS_LOAD(name) \
+  v.name = name##_.load(std::memory_order_relaxed);
+    TQ_METRICS_COUNTERS(TQ_METRICS_LOAD)
+#undef TQ_METRICS_LOAD
+    for (size_t f = 0; f < kNumOpFamilies; ++f) {
+      v.op_histograms[f] = histograms_[f].Read();
+    }
     return v;
   }
 
  private:
-  std::atomic<uint64_t> queries_total_{0};
-  std::atomic<uint64_t> service_queries_{0};
-  std::atomic<uint64_t> topk_queries_{0};
-  std::atomic<uint64_t> cache_hits_{0};
-  std::atomic<uint64_t> cache_misses_{0};
-  std::atomic<uint64_t> cache_evictions_{0};
-  std::atomic<uint64_t> cache_invalidated_{0};
-  std::atomic<uint64_t> snapshots_published_{0};
-  std::atomic<uint64_t> shard_tasks_{0};
-  std::atomic<uint64_t> shard_publishes_{0};
-  std::atomic<uint64_t> trajectories_inserted_{0};
-  std::atomic<uint64_t> trajectories_removed_{0};
-  std::atomic<uint64_t> nodes_copied_{0};
-  std::atomic<uint64_t> pages_shared_{0};
-  std::atomic<uint64_t> publish_ns_{0};
-  std::atomic<uint64_t> facilities_evaluated_{0};
-  std::atomic<uint64_t> facilities_pruned_{0};
-  std::atomic<uint64_t> prune_rounds_{0};
-  std::atomic<uint64_t> nodes_visited_{0};
-  std::atomic<uint64_t> entries_scanned_{0};
-  std::atomic<uint64_t> exact_checks_{0};
-  std::atomic<uint64_t> heap_pops_{0};
-  std::atomic<uint64_t> net_connections_{0};
-  std::atomic<uint64_t> net_requests_decoded_{0};
-  std::atomic<uint64_t> net_batches_coalesced_{0};
-  std::atomic<uint64_t> net_bytes_in_{0};
-  std::atomic<uint64_t> net_bytes_out_{0};
+#define TQ_METRICS_ATOMIC(name) std::atomic<uint64_t> name##_{0};
+  TQ_METRICS_COUNTERS(TQ_METRICS_ATOMIC)
+#undef TQ_METRICS_ATOMIC
+
+  std::atomic<bool> latency_recording_{true};
+  LatencyHistogram histograms_[kNumOpFamilies];
 };
 
 }  // namespace tq::runtime

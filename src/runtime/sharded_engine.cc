@@ -55,6 +55,10 @@ struct ShardedEngine::GatherState {
   std::vector<QueryStats> stats;                // per shard
   std::vector<uint8_t> hits;                    // per shard: all lookups hit
   std::atomic<size_t> remaining{0};
+  /// Span sink for this query, shared by every task; null when untraced.
+  /// Tasks only APPEND — whoever started the trace finishes it (the net
+  /// server for frame traces, the engine's done-wrapper for its own).
+  TraceContextPtr trace;
 
   // Bound-and-prune top-k protocol state (prune_topk mode only).
   std::vector<std::vector<double>> bounds;   // round 1: per shard, per fac
@@ -77,7 +81,7 @@ ShardedEngine::ShardedEngine(TrajectorySet users, TrajectorySet facilities,
       router_(users,
               users.empty() ? Rect::Of(0, 0, 1, 1) : users.BoundingBox(),
               std::max<size_t>(1, options.num_shards)),
-      pool_(options.num_threads) {
+      pool_(options.num_threads, &metrics_) {
   // Partition the initial users; global id = position in `users`, preserved
   // by the registry so later removes can find (shard, local id).
   const size_t n = router_.num_shards();
@@ -153,11 +157,31 @@ std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
 }
 
 void ShardedEngine::SubmitAsync(QueryRequest request, ResponseCallback done) {
+  SubmitAsync(std::move(request), nullptr, std::move(done));
+}
+
+void ShardedEngine::SubmitAsync(QueryRequest request, TraceContextPtr trace,
+                                ResponseCallback done, uint64_t start_ns) {
   auto state = std::make_shared<GatherState>();
   state->request = request;
   state->snap = snapshot();
-  state->done = std::move(done);
-  metrics_.AddQuery(request.kind == QueryKind::kTopK);
+  const bool topk = request.kind == QueryKind::kTopK;
+  metrics_.AddQuery(topk);
+  // Submit-to-completion latency, recorded on EVERY completion path below
+  // (error, cache hit, degenerate, scatter) so the per-kind histogram
+  // counts sum exactly to queries_total — the invariant the CI
+  // observability smoke asserts. The clock read is gated on the recording
+  // toggle so disabling observability removes the whole cost; a caller
+  // start_ns (the net server's frame receive time) replaces it entirely.
+  const uint64_t t0 = metrics_.latency_recording()
+                          ? (start_ns != 0 ? start_ns : NowNs())
+                          : 0;
+  const OpFamily family =
+      topk ? OpFamily::kTopKQuery : OpFamily::kServiceQuery;
+  auto finish_inline = [&](QueryResponse response) {
+    if (t0 != 0) metrics_.RecordLatency(family, NowNs() - t0);
+    done(std::move(response));
+  };
 
   // Malformed tenant requests come back as errors before any scatter.
   if (request.kind == QueryKind::kServiceValue &&
@@ -169,7 +193,7 @@ void ShardedEngine::SubmitAsync(QueryRequest request, ResponseCallback done) {
         "facility id " + std::to_string(request.facility) +
         " out of range (catalog has " +
         std::to_string(state->snap->catalog->size()) + ")");
-    state->done(std::move(response));
+    finish_inline(std::move(response));
     return;
   }
 
@@ -184,16 +208,44 @@ void ShardedEngine::SubmitAsync(QueryRequest request, ResponseCallback done) {
                        &response.ranked)) {
       response.cache_hit = true;
       metrics_.AddCacheHit();
-      state->done(std::move(response));
+      finish_inline(std::move(response));
       return;
     }
     // Degenerate ranking (k = 0 or an empty catalog) needs no scatter at
     // all — answer empty immediately, like the malformed-request path.
     if (request.k == 0 || state->snap->catalog->size() == 0) {
-      state->done(std::move(response));
+      finish_inline(std::move(response));
       return;
     }
   }
+
+  // Scatter path. Queries arriving without a caller trace get an
+  // engine-owned one — SAMPLED 1-in-trace_sample, because a trace costs an
+  // allocation plus per-shard-task clock reads and a ring write. The
+  // armed slow-query log overrides the sampling: a slow query can only be
+  // logged if it was traced from the start, so arming the log buys full
+  // tracing at full cost, deliberately.
+  const bool owns_trace = trace == nullptr;
+  if (owns_trace) {
+    const bool slow_log_armed =
+        tracer_.slow_threshold_ns() != Tracer::kSlowLogDisabled;
+    thread_local uint64_t trace_seq = 0;
+    if (slow_log_armed ||
+        (options_.trace_sample != 0 &&
+         trace_seq++ % options_.trace_sample == 0)) {
+      trace = tracer_.Start(topk ? "topk" : "sum",
+                            topk ? request.k : request.facility);
+    }
+  }
+  state->trace = trace;
+  state->done = [this, t0, family, trace, owns_trace,
+                 inner = std::move(done)](QueryResponse response) {
+    if (owns_trace && trace) {
+      tracer_.Finish(*trace, response.snapshot_version);
+    }
+    if (t0 != 0) metrics_.RecordLatency(family, NowNs() - t0);
+    inner(std::move(response));
+  };
 
   const size_t n = state->snap->shards.size();
   state->values.resize(n, 0.0);
@@ -211,18 +263,24 @@ void ShardedEngine::SubmitAsync(QueryRequest request, ResponseCallback done) {
       options_.prune_topk &&
       static_cast<double>(std::min(request.k, num_fac)) <
           options_.prune_skip_ratio * static_cast<double>(num_fac);
+  // Post timestamps feed the per-shard queue-wait spans; one clock read
+  // covers the whole fan-out.
+  const uint64_t post_ns = NowNs();
   if (state->request.kind == QueryKind::kTopK && prune) {
     // Bound-and-prune protocol: scatter round-1 bound-sweep tasks; the
     // coordinator (last finisher) decides what round 2 must refine.
     state->bounds.resize(n);
     state->known.resize(n);
     for (size_t s = 0; s < n; ++s) {
-      pool_.Post([this, state, s]() { ExecuteTopKBoundRound(state, s); });
+      pool_.Post([this, state, s, post_ns]() {
+        ExecuteTopKBoundRound(state, s, post_ns);
+      });
     }
     return;
   }
   for (size_t s = 0; s < n; ++s) {
-    pool_.Post([this, state, s]() { ExecuteShard(state, s); });
+    pool_.Post(
+        [this, state, s, post_ns]() { ExecuteShard(state, s, post_ns); });
   }
 }
 
@@ -260,7 +318,16 @@ double ShardedEngine::ShardServiceValue(const ShardState& shard,
 }
 
 void ShardedEngine::ExecuteShard(const std::shared_ptr<GatherState>& state,
-                                 size_t shard_idx) {
+                                 size_t shard_idx, uint64_t post_ns) {
+  const uint64_t t0 =
+      ((metrics_.latency_recording() && MetricsRegistry::SampleTask()) ||
+       state->trace)
+          ? NowNs()
+          : 0;
+  if (state->trace && post_ns != 0) {
+    state->trace->AddSpan("queue_wait", static_cast<int32_t>(shard_idx),
+                          post_ns, t0);
+  }
   const ShardState& shard = *state->snap->shards[shard_idx];
   const FacilityCatalog& catalog = *state->snap->catalog;
   QueryStats stats;
@@ -285,6 +352,14 @@ void ShardedEngine::ExecuteShard(const std::shared_ptr<GatherState>& state,
   state->stats[shard_idx] = stats;
   state->hits[shard_idx] = hit ? 1 : 0;
   metrics_.AddShardTask();
+  if (t0 != 0) {
+    const uint64_t t1 = NowNs();
+    metrics_.RecordLatency(OpFamily::kShardTask, t1 - t0);
+    if (state->trace) {
+      state->trace->AddSpan("shard_eval", static_cast<int32_t>(shard_idx),
+                            t0, t1);
+    }
+  }
   // acq_rel: the last decrementer acquires every other task's slot writes.
   if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     Gather(state.get());
@@ -292,6 +367,7 @@ void ShardedEngine::ExecuteShard(const std::shared_ptr<GatherState>& state,
 }
 
 void ShardedEngine::Gather(GatherState* state) {
+  const uint64_t merge_t0 = state->trace ? NowNs() : 0;
   const ShardedSnapshot& snap = *state->snap;
   const size_t n = snap.shards.size();
   QueryResponse response;
@@ -324,6 +400,7 @@ void ShardedEngine::Gather(GatherState* state) {
     RankTopK(state, std::move(all), &response);
   }
   metrics_.RecordQueryStats(total);
+  if (merge_t0 != 0) state->trace->AddSpan("merge", -1, merge_t0, NowNs());
   state->done(std::move(response));
 }
 
@@ -346,7 +423,17 @@ void ShardedEngine::RankTopK(GatherState* state,
 }
 
 void ShardedEngine::ExecuteTopKBoundRound(
-    const std::shared_ptr<GatherState>& state, size_t shard_idx) {
+    const std::shared_ptr<GatherState>& state, size_t shard_idx,
+    uint64_t post_ns) {
+  const uint64_t t0 =
+      ((metrics_.latency_recording() && MetricsRegistry::SampleTask()) ||
+       state->trace)
+          ? NowNs()
+          : 0;
+  if (state->trace && post_ns != 0) {
+    state->trace->AddSpan("queue_wait", static_cast<int32_t>(shard_idx),
+                          post_ns, t0);
+  }
   const ShardState& shard = *state->snap->shards[shard_idx];
   const FacilityCatalog& catalog = *state->snap->catalog;
   const size_t num_fac = catalog.size();
@@ -413,12 +500,23 @@ void ShardedEngine::ExecuteTopKBoundRound(
   state->stats[shard_idx] = stats;
   state->evaluated.fetch_add(evaluated, std::memory_order_relaxed);
   metrics_.AddShardTask();
+  if (t0 != 0) {
+    const uint64_t t1 = NowNs();
+    metrics_.RecordLatency(OpFamily::kShardTask, t1 - t0);
+    if (state->trace) {
+      // One span covers the shard's bound sweep AND its cursor-driven
+      // exact evaluations — the round-1 unit of work.
+      state->trace->AddSpan("shard_sweep", static_cast<int32_t>(shard_idx),
+                            t0, t1);
+    }
+  }
   if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     CoordinateTopK(state);
   }
 }
 
 void ShardedEngine::CoordinateTopK(const std::shared_ptr<GatherState>& state) {
+  const uint64_t coord_t0 = state->trace ? NowNs() : 0;
   const size_t n = state->snap->shards.size();
   const FacilityCatalog& catalog = *state->snap->catalog;
   const size_t num_fac = catalog.size();
@@ -464,6 +562,9 @@ void ShardedEngine::CoordinateTopK(const std::shared_ptr<GatherState>& state) {
     // else pruned: provably absent from the top-k.
   }
 
+  if (coord_t0 != 0) {
+    state->trace->AddSpan("coordinate", -1, coord_t0, NowNs());
+  }
   if (state->candidates.empty()) {
     FinishTopK(state.get());
     return;
@@ -474,13 +575,26 @@ void ShardedEngine::CoordinateTopK(const std::shared_ptr<GatherState>& state) {
   // visible to the round-2 tasks.
   state->rounds++;
   state->remaining.store(n, std::memory_order_relaxed);
+  const uint64_t post_ns = NowNs();
   for (size_t s = 0; s < n; ++s) {
-    pool_.Post([this, state, s]() { ExecuteTopKRefineRound(state, s); });
+    pool_.Post([this, state, s, post_ns]() {
+      ExecuteTopKRefineRound(state, s, post_ns);
+    });
   }
 }
 
 void ShardedEngine::ExecuteTopKRefineRound(
-    const std::shared_ptr<GatherState>& state, size_t shard_idx) {
+    const std::shared_ptr<GatherState>& state, size_t shard_idx,
+    uint64_t post_ns) {
+  const uint64_t t0 =
+      ((metrics_.latency_recording() && MetricsRegistry::SampleTask()) ||
+       state->trace)
+          ? NowNs()
+          : 0;
+  if (state->trace && post_ns != 0) {
+    state->trace->AddSpan("queue_wait", static_cast<int32_t>(shard_idx),
+                          post_ns, t0);
+  }
   const ShardState& shard = *state->snap->shards[shard_idx];
   const FacilityCatalog& catalog = *state->snap->catalog;
   QueryStats stats;
@@ -505,12 +619,21 @@ void ShardedEngine::ExecuteTopKRefineRound(
   state->stats[shard_idx].Add(stats);
   state->evaluated.fetch_add(evaluated, std::memory_order_relaxed);
   metrics_.AddShardTask();
+  if (t0 != 0) {
+    const uint64_t t1 = NowNs();
+    metrics_.RecordLatency(OpFamily::kShardTask, t1 - t0);
+    if (state->trace) {
+      state->trace->AddSpan("shard_refine", static_cast<int32_t>(shard_idx),
+                            t0, t1);
+    }
+  }
   if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     FinishTopK(state.get());
   }
 }
 
 void ShardedEngine::FinishTopK(GatherState* state) {
+  const uint64_t merge_t0 = state->trace ? NowNs() : 0;
   const ShardedSnapshot& snap = *state->snap;
   const size_t n = snap.shards.size();
   const size_t num_fac = snap.catalog->size();
@@ -543,6 +666,7 @@ void ShardedEngine::FinishTopK(GatherState* state) {
   const uint64_t slots = static_cast<uint64_t>(num_fac) * n;
   metrics_.AddTopKPruneWork(evaluated, slots - evaluated, state->rounds);
   metrics_.RecordQueryStats(total);
+  if (merge_t0 != 0) state->trace->AddSpan("merge", -1, merge_t0, NowNs());
   state->done(std::move(response));
 }
 
@@ -635,6 +759,8 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
       std::chrono::steady_clock::now() - publish_start);
   metrics_.AddPublishCost(nodes_copied, pages_shared,
                           static_cast<uint64_t>(publish_ns.count()));
+  metrics_.RecordLatency(OpFamily::kPublish,
+                         static_cast<uint64_t>(publish_ns.count()));
   return new_ids;
 }
 

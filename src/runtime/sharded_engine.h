@@ -72,6 +72,7 @@
 #include "runtime/result_cache.h"
 #include "runtime/shard_router.h"
 #include "runtime/thread_pool.h"
+#include "runtime/trace.h"
 
 namespace tq::runtime {
 
@@ -98,6 +99,14 @@ struct ShardedEngineOptions {
   /// |F|, so exactly 1.0 still skips at k = |F|); 0.0 always skips (i.e.
   /// always exhaustive, like prune_topk = false).
   double prune_skip_ratio = 0.5;
+  /// Engine-owned traces for scatter queries submitted WITHOUT a caller
+  /// context: start one every `trace_sample` queries (0 = never). A trace
+  /// costs an allocation plus span clock reads in every shard task, so
+  /// tracing every query would tax the hot path; sampling keeps the ring
+  /// representative instead. Ignored — every query is traced — while the
+  /// slow-query log is armed (a slow query can only be logged if it was
+  /// traced from the start).
+  size_t trace_sample = 32;
   /// TQ-tree construction parameters (the service model lives here).
   TQTreeOptions tree;
 };
@@ -147,6 +156,11 @@ class ShardedEngine {
   /// server folds its connection/byte counters in here so one JSON snapshot
   /// covers the whole serving stack).
   MetricsRegistry* mutable_metrics() { return &metrics_; }
+  /// Recent-trace ring + slow-query log for this engine's queries. The net
+  /// server reads Recent() for the stats frame; `serve` wires the slow-log
+  /// sink and threshold through the mutable accessor.
+  const Tracer& tracer() const { return tracer_; }
+  Tracer* mutable_tracer() { return &tracer_; }
   const ShardRouter& router() const { return router_; }
   size_t num_shards() const { return router_.num_shards(); }
 
@@ -178,6 +192,20 @@ class ShardedEngine {
   /// The callback must not block and must not destroy the engine.
   void SubmitAsync(QueryRequest request, ResponseCallback done);
 
+  /// SubmitAsync with a caller-owned trace context: the scatter/gather path
+  /// appends its spans (queue wait, per-shard sweep/eval/refine, coordinate,
+  /// merge) to `trace`, and the CALLER finishes it (Tracer::Finish) — the
+  /// net server shares one frame trace across all of a frame's sub-queries
+  /// this way. Passing nullptr is identical to the two-argument overload:
+  /// scatter queries get an engine-owned trace finished just before `done`.
+  /// `start_ns` (optional) backdates the query's latency-histogram sample
+  /// to an earlier NowNs() reading — the net server passes the frame's
+  /// receive timestamp, which both amortizes one clock read across the
+  /// frame's whole batch and charges decode + dispatch time to the query,
+  /// where it belongs. 0 means "read the clock here".
+  void SubmitAsync(QueryRequest request, TraceContextPtr trace,
+                   ResponseCallback done, uint64_t start_ns = 0);
+
   /// Submits every request, then blocks for all answers (in request order).
   std::vector<QueryResponse> RunBatch(const std::vector<QueryRequest>& batch);
 
@@ -190,15 +218,18 @@ class ShardedEngine {
  private:
   struct GatherState;
 
-  void ExecuteShard(const std::shared_ptr<GatherState>& state, size_t shard);
+  /// Per-shard task entry points. `post_ns` is the Post() timestamp of the
+  /// task (0 when the query is untraced) — the queue-wait span.
+  void ExecuteShard(const std::shared_ptr<GatherState>& state, size_t shard,
+                    uint64_t post_ns);
   void Gather(GatherState* state);
   /// Round 1 of the pruned top-k protocol: one shard's bound sweep plus
   /// cursor-driven exact evaluation of its candidate frontier.
   void ExecuteTopKBoundRound(const std::shared_ptr<GatherState>& state,
-                             size_t shard);
+                             size_t shard, uint64_t post_ns);
   /// Round 2: one shard refines the coordinator's surviving candidates.
   void ExecuteTopKRefineRound(const std::shared_ptr<GatherState>& state,
-                              size_t shard);
+                              size_t shard, uint64_t post_ns);
   /// Coordinator: runs in the last round-1 task; computes the global k-th
   /// threshold, selects candidates, and either finishes or fans out round 2.
   void CoordinateTopK(const std::shared_ptr<GatherState>& state);
@@ -219,6 +250,7 @@ class ShardedEngine {
 
   ShardedEngineOptions options_;
   MetricsRegistry metrics_;
+  Tracer tracer_;
   ResultCache cache_;
   ShardRouter router_;
 

@@ -5,7 +5,8 @@
 
 namespace tq::runtime {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, MetricsRegistry* metrics)
+    : metrics_(metrics) {
   const size_t n = std::max<size_t>(1, num_threads);
   workers_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -23,9 +24,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Post(std::function<void()> task) {
+  // Stamp the enqueue time only while latency recording is on (so the
+  // observability off-switch removes the clock read too) and only for a
+  // 1-in-N sample of tasks (see MetricsRegistry::SampleTask) — the
+  // unstamped tasks propagate the zero sentinel and skip the dequeue-side
+  // clock read as well.
+  const uint64_t enqueue_ns = (metrics_ != nullptr &&
+                               metrics_->latency_recording() &&
+                               MetricsRegistry::SampleTask())
+                                  ? NowNs()
+                                  : 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), enqueue_ns});
   }
   work_cv_.notify_one();
 }
@@ -37,7 +48,7 @@ void ThreadPool::Drain() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
@@ -47,7 +58,13 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    if (task.enqueue_ns != 0 && metrics_ != nullptr) {
+      const uint64_t now = NowNs();
+      metrics_->RecordLatency(
+          OpFamily::kQueueWait,
+          now > task.enqueue_ns ? now - task.enqueue_ns : 0);
+    }
+    task.fn();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

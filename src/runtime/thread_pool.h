@@ -18,6 +18,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "runtime/metrics.h"
+
 namespace tq::runtime {
 
 /// Fixed pool of worker threads draining a FIFO task queue. Tasks submitted
@@ -25,8 +27,12 @@ namespace tq::runtime {
 /// joins every worker.
 class ThreadPool {
  public:
-  /// Spawns `num_threads` workers (clamped to >= 1).
-  explicit ThreadPool(size_t num_threads);
+  /// Spawns `num_threads` workers (clamped to >= 1). When `metrics` is
+  /// non-null (and must outlive the pool), every task's queue wait —
+  /// Post() to execution start — is recorded into its
+  /// OpFamily::kQueueWait histogram.
+  explicit ThreadPool(size_t num_threads,
+                      MetricsRegistry* metrics = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -53,10 +59,16 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  MetricsRegistry* metrics_ = nullptr;  // optional; not owned
+
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks / stop
   std::condition_variable drain_cv_;  // Drain() waits for quiescence
-  std::deque<std::function<void()>> queue_;
+  struct QueuedTask {
+    std::function<void()> fn;
+    uint64_t enqueue_ns = 0;  // 0 when queue-wait tracking is off
+  };
+  std::deque<QueuedTask> queue_;
   size_t in_flight_ = 0;  // tasks popped but not yet finished
   bool stop_ = false;
   std::vector<std::thread> workers_;

@@ -1,0 +1,133 @@
+#include "runtime/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace tq::runtime {
+
+namespace {
+
+int64_t UnixMillisNow() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendSpanJson(std::string* out, const Trace::Span& span) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"shard\":%d,\"start_us\":%.1f,"
+                "\"end_us\":%.1f}",
+                span.name.c_str(), span.shard,
+                static_cast<double>(span.start_ns) / 1e3,
+                static_cast<double>(span.end_ns) / 1e3);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string TraceToJson(const Trace& trace) {
+  std::string out;
+  out.reserve(128 + trace.spans.size() * 96);
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "{\"op\":\"%s\",\"detail\":%llu,\"total_ms\":%.3f,"
+                "\"snapshot_version\":%llu,\"unix_ms\":%lld,"
+                "\"dropped_spans\":%u,\"spans\":[",
+                trace.op.c_str(),
+                static_cast<unsigned long long>(trace.detail),
+                static_cast<double>(trace.total_ns) / 1e6,
+                static_cast<unsigned long long>(trace.snapshot_version),
+                static_cast<long long>(trace.unix_ms), trace.dropped_spans);
+  out.append(buf);
+  for (size_t i = 0; i < trace.spans.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    AppendSpanJson(&out, trace.spans[i]);
+  }
+  out.append("]}");
+  return out;
+}
+
+Tracer::Tracer(size_t ring_size)
+    : ring_size_(ring_size == 0 ? 1 : ring_size),
+      ring_(std::make_unique<Slot[]>(ring_size == 0 ? 1 : ring_size)) {}
+
+void Tracer::Finish(const TraceContext& ctx, uint64_t snapshot_version) {
+  const uint64_t now = NowNs();
+  const uint64_t start = ctx.start_ns();
+
+  Trace trace;
+  trace.op = ctx.op();
+  trace.detail = ctx.detail();
+  trace.total_ns = now > start ? now - start : 0;
+  trace.snapshot_version = snapshot_version;
+  trace.unix_ms = UnixMillisNow();
+  trace.dropped_spans = ctx.dropped_spans();
+  const size_t n = ctx.num_spans();
+  trace.spans.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const TraceSpan& s = ctx.span(i);
+    Trace::Span out;
+    out.name = s.name != nullptr ? s.name : "?";
+    out.shard = s.shard;
+    // Saturating re-base onto the trace start; a span clocked marginally
+    // before the context was constructed clamps to offset 0.
+    out.start_ns = s.start_ns > start ? s.start_ns - start : 0;
+    out.end_ns = s.end_ns > start ? s.end_ns - start : 0;
+    trace.spans.push_back(std::move(out));
+  }
+  // Spans land in ring order of slot claims, which under concurrent shard
+  // tasks is arbitrary — present them chronologically.
+  std::sort(trace.spans.begin(), trace.spans.end(),
+            [](const Trace::Span& a, const Trace::Span& b) {
+              return a.start_ns < b.start_ns;
+            });
+
+  finished_.fetch_add(1, std::memory_order_relaxed);
+
+  if (trace.total_ns >=
+      slow_threshold_ns_.load(std::memory_order_relaxed)) {
+    std::function<void(const std::string&)> sink;
+    {
+      std::lock_guard<std::mutex> lock(sink_mu_);
+      sink = sink_;
+    }
+    if (sink) sink(TraceToJson(trace));
+  }
+
+  const uint64_t seq = cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[seq % ring_size_];
+  // Never block a serving thread on the ring: a contended slot (another
+  // writer or a reader mid-copy) drops this trace instead.
+  if (!slot.mu.try_lock()) {
+    ring_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.used = true;
+  slot.trace = std::move(trace);
+  slot.mu.unlock();
+}
+
+void Tracer::SetSlowLogSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_ = std::move(sink);
+}
+
+std::vector<Trace> Tracer::Recent(size_t max_traces) const {
+  std::vector<Trace> out;
+  if (max_traces == 0) return out;
+  const uint64_t end = cursor_.load(std::memory_order_relaxed);
+  const uint64_t span = std::min<uint64_t>(end, ring_size_);
+  out.reserve(std::min<uint64_t>(span, max_traces));
+  // Walk newest-first from the write cursor backwards.
+  for (uint64_t i = 0; i < span && out.size() < max_traces; ++i) {
+    Slot& slot = ring_[(end - 1 - i) % ring_size_];
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.used) out.push_back(slot.trace);
+  }
+  return out;
+}
+
+}  // namespace tq::runtime

@@ -614,5 +614,168 @@ TEST(NetServer, ShutdownFlushesParkedUpdates) {
   EXPECT_EQ(engine.NumUsersTotal(), users.size() + 1);
 }
 
+// ------------------------------------------------------- stats frame
+
+TEST(NetProtocol, StatsRequestAndResponseRoundTrip) {
+  // Request side: the max-traces cap survives the wire.
+  {
+    std::string wire;
+    EncodeRequest(NetRequest::Stats(17), &wire);
+    NetRequest decoded;
+    ASSERT_TRUE(
+        DecodeRequest(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+    EXPECT_EQ(decoded.type, MessageType::kStats);
+    EXPECT_EQ(decoded.stats_max_traces, 17u);
+  }
+  // Response side: counters, histograms and traces all round-trip.
+  NetResponse original;
+  original.type = MessageType::kStats;
+  original.snapshot_version = 3;
+  original.stats.counters = {{"queries_total", 42}, {"cache_hits", 7}};
+  net::WireHistogram h;
+  h.name = "topk_query";
+  h.count = 10;
+  h.sum_ns = 1000;
+  h.p50_ns = 90;
+  h.p90_ns = 180;
+  h.p99_ns = 270;
+  h.max_ns = 512;
+  original.stats.histograms.push_back(h);
+  net::WireTrace t;
+  t.op = "net_topk";
+  t.detail = 8;
+  t.total_ns = 5000000;
+  t.snapshot_version = 3;
+  t.unix_ms = 1754600000000ull;
+  t.dropped_spans = 2;
+  t.spans = {{"decode", -1, 0, 4200}, {"shard_sweep", 5, 5000, 90000}};
+  original.stats.traces.push_back(t);
+  std::string wire;
+  EncodeResponse(original, &wire);
+  NetResponse decoded;
+  ASSERT_TRUE(
+      DecodeResponse(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+  EXPECT_EQ(decoded.type, MessageType::kStats);
+  ASSERT_EQ(decoded.stats.counters.size(), 2u);
+  EXPECT_EQ(decoded.stats.counters[0].first, "queries_total");
+  EXPECT_EQ(decoded.stats.counters[0].second, 42u);
+  ASSERT_EQ(decoded.stats.histograms.size(), 1u);
+  EXPECT_EQ(decoded.stats.histograms[0].name, "topk_query");
+  EXPECT_EQ(decoded.stats.histograms[0].p99_ns, 270u);
+  EXPECT_EQ(decoded.stats.histograms[0].max_ns, 512u);
+  ASSERT_EQ(decoded.stats.traces.size(), 1u);
+  const net::WireTrace& dt = decoded.stats.traces[0];
+  EXPECT_EQ(dt.op, "net_topk");
+  EXPECT_EQ(dt.total_ns, 5000000u);
+  EXPECT_EQ(dt.dropped_spans, 2u);
+  ASSERT_EQ(dt.spans.size(), 2u);
+  EXPECT_EQ(dt.spans[0].name, "decode");
+  EXPECT_EQ(dt.spans[0].shard, -1);
+  EXPECT_EQ(dt.spans[1].shard, 5);
+  EXPECT_EQ(dt.spans[1].end_ns, 90000u);
+  // The CLI/CI JSON rendering carries the key sections.
+  const std::string json = net::WireStatsToJson(decoded.stats);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"queries_total\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"traces\":["), std::string::npos);
+  EXPECT_NE(json.find("\"shard_sweep\""), std::string::npos);
+}
+
+// A live loopback scrape: drive traffic, then assert the stats frame's
+// internal consistency — the acceptance invariant is that the per-query
+// latency histograms count EVERY submitted query (service + topk counts
+// equal queries_total), and at least one trace carries per-shard spans.
+TEST(NetServer, LoopbackStatsScrapeIsConsistent) {
+  const TrajectorySet users = presets::NyfCheckins(1200);
+  const TrajectorySet routes = presets::NyBusRoutes(12, 10);
+  ShardedEngine engine(users, routes, EngineOptions(4));
+  NetServerOptions options;
+  options.trace_sample = 1;  // trace every frame: the scrape must see spans
+  NetServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  std::vector<FacilityId> all(routes.size());
+  for (uint32_t f = 0; f < routes.size(); ++f) all[f] = f;
+  NetResponse response;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Sum(all, &response).ok() && response.status.ok());
+  }
+  ASSERT_TRUE(client.TopK({3, 5}, &response).ok() && response.status.ok());
+
+  ASSERT_TRUE(client.Stats(32, &response).ok());
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.type, MessageType::kStats);
+  const net::WireStats& stats = response.stats;
+
+  uint64_t queries_total = 0, service_queries = 0, topk_queries = 0;
+  for (const auto& [name, value] : stats.counters) {
+    if (name == "queries_total") queries_total = value;
+    if (name == "service_queries") service_queries = value;
+    if (name == "topk_queries") topk_queries = value;
+  }
+  EXPECT_EQ(service_queries, 5u * routes.size());
+  EXPECT_EQ(topk_queries, 2u);
+  EXPECT_EQ(queries_total, service_queries + topk_queries);
+
+  // Histogram-count invariant: every query recorded exactly one latency.
+  uint64_t hist_service = 0, hist_topk = 0, hist_frames = 0;
+  for (const net::WireHistogram& h : stats.histograms) {
+    if (h.name == "service_query") hist_service = h.count;
+    if (h.name == "topk_query") hist_topk = h.count;
+    if (h.name == "net_frame") hist_frames = h.count;
+    EXPECT_GE(h.max_ns, h.p99_ns) << h.name;
+    EXPECT_GE(h.p99_ns, h.p50_ns) << h.name;
+  }
+  EXPECT_EQ(hist_service, service_queries);
+  EXPECT_EQ(hist_topk, topk_queries);
+  EXPECT_EQ(hist_frames, 6u);  // 5 sum + 1 topk frames answered so far
+
+  // Sampled frame traces landed in the ring with per-shard spans.
+  ASSERT_FALSE(stats.traces.empty());
+  // Slowest-first ordering.
+  for (size_t i = 1; i < stats.traces.size(); ++i) {
+    EXPECT_GE(stats.traces[i - 1].total_ns, stats.traces[i].total_ns);
+  }
+  bool saw_shard_span = false, saw_decode = false;
+  for (const net::WireTrace& t : stats.traces) {
+    EXPECT_TRUE(t.op == "net_sum" || t.op == "net_topk" || t.op == "sum" ||
+                t.op == "topk")
+        << t.op;
+    for (const net::WireSpan& s : t.spans) {
+      EXPECT_LE(s.start_ns, s.end_ns);
+      if (s.shard >= 0) saw_shard_span = true;
+      if (s.name == "decode") saw_decode = true;
+    }
+  }
+  EXPECT_TRUE(saw_shard_span);
+  EXPECT_TRUE(saw_decode);
+  server.Stop();
+}
+
+// Disabling trace sampling serves untraced frames; the stats frame still
+// answers (engine-owned query traces may appear, frame traces must not).
+TEST(NetServer, StatsWithSamplingDisabled) {
+  const TrajectorySet users = presets::NyfCheckins(600);
+  const TrajectorySet routes = presets::NyBusRoutes(6, 8);
+  ShardedEngine engine(users, routes, EngineOptions(2));
+  NetServerOptions options;
+  options.trace_sample = 0;
+  NetServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  NetResponse response;
+  ASSERT_TRUE(client.Sum({0, 1, 2}, &response).ok() && response.status.ok());
+  ASSERT_TRUE(client.Stats(8, &response).ok());
+  ASSERT_TRUE(response.status.ok());
+  for (const net::WireTrace& t : response.stats.traces) {
+    EXPECT_NE(t.op.substr(0, 4), "net_") << "frame trace despite sample=0";
+  }
+  server.Stop();
+}
+
 }  // namespace
 }  // namespace tq

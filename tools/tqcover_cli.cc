@@ -13,6 +13,9 @@
 //                        --threads 4 --queries 2000   # concurrent runtime
 //   tqcover_cli serve    ... --shards 8   # scatter/gather over 8 TQ-trees
 //   tqcover_cli serve    ... --listen 7070   # TCP front-end (net/server.h)
+//   tqcover_cli stats 127.0.0.1:7070         # scrape a live server's
+//                                            # metrics/histograms/traces
+//   tqcover_cli query 127.0.0.1:7070 --sums 500 --topks 20   # drive traffic
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -28,6 +31,7 @@
 #include "cover/genetic.h"
 #include "cover/greedy.h"
 #include "datagen/presets.h"
+#include "net/client.h"
 #include "net/server.h"
 #include "query/baseline.h"
 #include "query/topk.h"
@@ -43,6 +47,7 @@ using tq::Status;
 
 struct Args {
   std::string command;
+  std::string target;  // optional positional HOST:PORT after the command
   std::map<std::string, std::string> kv;
 
   std::string Get(const std::string& key, const std::string& def = "") const {
@@ -66,7 +71,11 @@ int Usage() {
       "commands:\n"
       "  generate --preset nyt|nyf|bjg|nybus|bjbus --n N [--stops S]\n"
       "           --out FILE [--format bin|csv]\n"
-      "  stats    --in FILE\n"
+      "  stats    --in FILE            # dataset statistics, or:\n"
+      "  stats    HOST:PORT [--traces N]   # scrape a live server's\n"
+      "           metrics, per-op latency histograms, and recent traces\n"
+      "  query    HOST:PORT [--sums N] [--topks M] [--k 8] [--batch 16]\n"
+      "           [--facility-range 8]   # drive sync traffic at a server\n"
       "  topk     --users FILE --facilities FILE [--k 8] [--psi 200]\n"
       "           [--scenario endpoints|points|length] [--method tqz|tqb|bl|blr]\n"
       "           [--mode whole|segmented] [--beta 64]\n"
@@ -85,6 +94,10 @@ int Usage() {
       "                         # protocol (docs/PROTOCOL.md) instead of a\n"
       "                         # local query loop; 0 = ephemeral port;\n"
       "                         # runs S seconds (default: until SIGINT)\n"
+      "           [--slow-query-ms N]  # log '# slow:' JSON trace lines for\n"
+      "                         # queries/frames taking >= N ms (0 = all)\n"
+      "           [--stats-interval S] # with --listen: print a '# json:'\n"
+      "                         # metrics line every S seconds\n"
       "files: .bin (packed binary) or anything else (CSV x1,y1;x2,y2;...)\n");
   return 2;
 }
@@ -142,7 +155,139 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
+bool ParseHostPort(const std::string& target, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == target.size()) {
+    return false;
+  }
+  *host = target.substr(0, colon);
+  const unsigned long p = std::stoul(target.substr(colon + 1));
+  if (p == 0 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+int ConnectTo(const std::string& target, tq::net::NetClient* client) {
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(target, &host, &port)) {
+    std::fprintf(stderr, "bad HOST:PORT '%s'\n", target.c_str());
+    return 2;
+  }
+  const Status st = client->Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// stats HOST:PORT — scrape a live server's kStats frame: counters, per-op
+// latency percentiles, and its slowest recent traces with per-shard spans.
+// The trailing '# json:' line is the machine-parsable form (CI reads it).
+int CmdStatsNet(const Args& args) {
+  tq::net::NetClient client;
+  const int rc = ConnectTo(args.target, &client);
+  if (rc != 0) return rc;
+  const auto max_traces =
+      static_cast<uint32_t>(args.GetSize("traces", 8));
+  tq::net::NetResponse resp;
+  const Status st = client.Stats(max_traces, &resp);
+  if (!st.ok() || !resp.status.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (st.ok() ? resp.status : st).ToString().c_str());
+    return 1;
+  }
+  std::printf("server snapshot version: %llu\n",
+              static_cast<unsigned long long>(resp.snapshot_version));
+  std::printf("%-16s %10s %10s %10s %10s %10s\n", "op", "count",
+              "p50_ms", "p90_ms", "p99_ms", "max_ms");
+  for (const tq::net::WireHistogram& h : resp.stats.histograms) {
+    std::printf("%-16s %10llu %10.3f %10.3f %10.3f %10.3f\n",
+                h.name.c_str(), static_cast<unsigned long long>(h.count),
+                static_cast<double>(h.p50_ns) / 1e6,
+                static_cast<double>(h.p90_ns) / 1e6,
+                static_cast<double>(h.p99_ns) / 1e6,
+                static_cast<double>(h.max_ns) / 1e6);
+  }
+  if (!resp.stats.traces.empty()) {
+    std::printf("slowest recent traces:\n");
+    for (const tq::net::WireTrace& t : resp.stats.traces) {
+      std::printf("  %s(%llu) %.3f ms @v%llu, %zu spans%s\n", t.op.c_str(),
+                  static_cast<unsigned long long>(t.detail),
+                  static_cast<double>(t.total_ns) / 1e6,
+                  static_cast<unsigned long long>(t.snapshot_version),
+                  t.spans.size(), t.dropped_spans ? " (spans dropped)" : "");
+      for (const tq::net::WireSpan& s : t.spans) {
+        std::printf("    %-14s shard %3d  %9.1f us .. %9.1f us\n",
+                    s.name.c_str(), s.shard,
+                    static_cast<double>(s.start_ns) / 1e3,
+                    static_cast<double>(s.end_ns) / 1e3);
+      }
+    }
+  }
+  std::printf("# json: %s\n", tq::net::WireStatsToJson(resp.stats).c_str());
+  return 0;
+}
+
+// query HOST:PORT — a sync traffic driver (CI uses it to exercise a live
+// server before scraping stats). Sends sum and top-k frames of --batch
+// queries each over one connection.
+int CmdQuery(const Args& args) {
+  if (args.target.empty()) return Usage();
+  tq::net::NetClient client;
+  const int rc = ConnectTo(args.target, &client);
+  if (rc != 0) return rc;
+  const size_t sums = args.GetSize("sums", 100);
+  const size_t topks = args.GetSize("topks", 0);
+  const size_t batch = std::max<size_t>(1, args.GetSize("batch", 16));
+  const auto k = static_cast<uint32_t>(args.GetSize("k", 8));
+  const size_t facility_range =
+      std::max<size_t>(1, args.GetSize("facility-range", 8));
+  double checksum = 0.0;
+  size_t sum_errors = 0;
+  tq::Timer timer;
+  for (size_t done = 0; done < sums;) {
+    const size_t n = std::min(batch, sums - done);
+    std::vector<tq::FacilityId> ids(n);
+    for (size_t i = 0; i < n; ++i) {
+      ids[i] = static_cast<tq::FacilityId>((done + i) % facility_range);
+    }
+    tq::net::NetResponse resp;
+    const Status st = client.Sum(ids, &resp);
+    if (!st.ok() || !resp.status.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (st.ok() ? resp.status : st).ToString().c_str());
+      return 1;
+    }
+    for (const tq::net::SumResult& r : resp.sums) {
+      if (r.code == tq::StatusCode::kOk) checksum += r.value;
+      else ++sum_errors;
+    }
+    done += n;
+  }
+  for (size_t done = 0; done < topks;) {
+    const size_t n = std::min(batch, topks - done);
+    tq::net::NetResponse resp;
+    const Status st =
+        client.TopK(std::vector<uint32_t>(n, k), &resp);
+    if (!st.ok() || !resp.status.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (st.ok() ? resp.status : st).ToString().c_str());
+      return 1;
+    }
+    done += n;
+  }
+  std::printf("sent %zu sum + %zu top-%u queries in %.3f s "
+              "(checksum %.3f, %zu per-query errors)\n",
+              sums, topks, k, timer.ElapsedSeconds(), checksum, sum_errors);
+  return 0;
+}
+
 int CmdStats(const Args& args) {
+  if (!args.target.empty()) return CmdStatsNet(args);
   const std::string in = args.Get("in");
   if (in.empty()) return Usage();
   tq::TrajectorySet set;
@@ -264,10 +409,25 @@ void OnServeSignal(int) { g_serve_interrupted.store(true); }
 // serve --listen: put the sharded engine behind the TCP front-end
 // (src/net/server.h) and block until --duration seconds pass or SIGINT/
 // SIGTERM arrives, then report the combined engine + network metrics.
+// --slow-query-ms N arms the engine tracer's slow-query log: every finished
+// trace at or over the threshold prints one '# slow:' structured JSON line
+// (N = 0 logs every trace). Shared by the listen and local serve loops.
+void ArmSlowQueryLog(tq::runtime::ShardedEngine& engine, const Args& args) {
+  if (args.kv.count("slow-query-ms") == 0) return;
+  const size_t ms = args.GetSize("slow-query-ms", 0);
+  tq::runtime::Tracer* tracer = engine.mutable_tracer();
+  tracer->set_slow_threshold_ns(static_cast<uint64_t>(ms) * 1000000ull);
+  tracer->SetSlowLogSink([](const std::string& line) {
+    std::printf("# slow: %s\n", line.c_str());
+    std::fflush(stdout);
+  });
+}
+
 int RunListenLoop(tq::runtime::ShardedEngine& engine, const Args& args) {
   tq::net::NetServerOptions options;
   options.port = static_cast<uint16_t>(args.GetSize("listen", 0));
   options.update_batch = std::max<size_t>(1, args.GetSize("update-batch", 1));
+  ArmSlowQueryLog(engine, args);
   tq::net::NetServer server(&engine, options);
   const Status st = server.Start();
   if (!st.ok()) {
@@ -275,6 +435,7 @@ int RunListenLoop(tq::runtime::ShardedEngine& engine, const Args& args) {
     return 1;
   }
   const size_t duration_s = args.GetSize("duration", 0);
+  const size_t stats_interval_s = args.GetSize("stats-interval", 0);
   g_serve_interrupted.store(false);
   std::signal(SIGINT, OnServeSignal);
   std::signal(SIGTERM, OnServeSignal);
@@ -283,10 +444,16 @@ int RunListenLoop(tq::runtime::ShardedEngine& engine, const Args& args) {
               duration_s ? "timed run" : "until SIGINT");
   std::fflush(stdout);
   tq::Timer timer;
+  double next_stats_s = static_cast<double>(stats_interval_s);
   while (!g_serve_interrupted.load() &&
          (duration_s == 0 || timer.ElapsedSeconds() <
                                  static_cast<double>(duration_s))) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (stats_interval_s > 0 && timer.ElapsedSeconds() >= next_stats_s) {
+      next_stats_s += static_cast<double>(stats_interval_s);
+      std::printf("# json: %s\n", engine.metrics().Read().ToJson().c_str());
+      std::fflush(stdout);
+    }
   }
   server.Stop();
   const tq::runtime::MetricsView m = engine.metrics().Read();
@@ -436,6 +603,7 @@ int CmdServe(const Args& args) {
                 options.prune_topk ? "bound-and-prune" : "exhaustive",
                 build_timer.ElapsedSeconds());
     if (listen) return RunListenLoop(engine, args);
+    ArmSlowQueryLog(engine, args);  // engine-owned traces cover this path
     return RunServeLoop(engine, std::move(mirror), args);
   }
   tq::runtime::EngineOptions options;
@@ -457,12 +625,20 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   Args args;
   args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  int i = 2;
+  // Optional positional HOST:PORT target before the --key value pairs
+  // (stats and query address a live server this way).
+  if (i < argc && std::strncmp(argv[i], "--", 2) != 0) {
+    args.target = argv[i];
+    ++i;
+  }
+  for (; i + 1 < argc; i += 2) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
     args.kv[argv[i] + 2] = argv[i + 1];
   }
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "stats") return CmdStats(args);
+  if (args.command == "query") return CmdQuery(args);
   if (args.command == "topk") return CmdTopK(args);
   if (args.command == "cover") return CmdCover(args);
   if (args.command == "serve") return CmdServe(args);

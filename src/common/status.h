@@ -22,6 +22,10 @@ enum class StatusCode {
   kAlreadyExists,
   kUnimplemented,
   kInternal,
+  /// Partial or degraded result: the answer was computed from fewer
+  /// participants than configured (a dead shard worker, say). The value
+  /// carried alongside is the best available, not the full one.
+  kUnavailable,
 };
 
 /// Value-semantic status object. `Status::OK()` is cheap (no allocation).
@@ -52,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -45,6 +46,7 @@ Status NetClient::Connect(const std::string& host, uint16_t port) {
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       fd_ = fd;
+      ApplyTimeout();
       break;
     }
     last = Errno("connect");
@@ -52,6 +54,19 @@ Status NetClient::Connect(const std::string& host, uint16_t port) {
   }
   ::freeaddrinfo(addrs);
   return connected() ? Status::OK() : last;
+}
+
+void NetClient::set_timeout_ms(uint64_t ms) {
+  timeout_ms_ = ms;
+  if (connected()) ApplyTimeout();
+}
+
+void NetClient::ApplyTimeout() {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms_ / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms_ % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void NetClient::Close() {
@@ -114,6 +129,26 @@ Status NetClient::Update(std::vector<std::vector<Point>> inserts,
 
 Status NetClient::Stats(uint32_t max_traces, NetResponse* response) {
   TQ_RETURN_NOT_OK(Send(NetRequest::Stats(max_traces)));
+  return Receive(response);
+}
+
+Status NetClient::Register(NetResponse* response) {
+  TQ_RETURN_NOT_OK(Send(NetRequest::Register()));
+  return Receive(response);
+}
+
+Status NetClient::Heartbeat(uint64_t seq, NetResponse* response) {
+  TQ_RETURN_NOT_OK(Send(NetRequest::Heartbeat(seq)));
+  return Receive(response);
+}
+
+Status NetClient::Bound(uint32_t k, NetResponse* response) {
+  TQ_RETURN_NOT_OK(Send(NetRequest::Bound(k)));
+  return Receive(response);
+}
+
+Status NetClient::ClusterStatus(NetResponse* response) {
+  TQ_RETURN_NOT_OK(Send(NetRequest::ClusterStatus()));
   return Receive(response);
 }
 

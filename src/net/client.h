@@ -36,6 +36,13 @@ class NetClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Caps how long any single send/recv may block (0 = forever, the
+  /// default). Applies to the current connection immediately and to later
+  /// Connect()s. A coordinator probing possibly-dead workers needs this:
+  /// an RPC that would otherwise hang becomes an IOError it can score as a
+  /// worker failure.
+  void set_timeout_ms(uint64_t ms);
+
   // ---- sync API: one frame out, one frame back -------------------------
 
   /// Batched service values, one per facility id. Transport errors come
@@ -51,6 +58,20 @@ class NetClient {
   /// Scrapes the server's metrics, per-op latency histograms, and up to
   /// `max_traces` recent traces (slowest first) into response->stats.
   Status Stats(uint32_t max_traces, NetResponse* response);
+
+  // ---- coordinator/worker RPCs (the distributed serving layer) ---------
+
+  /// Asks the peer to identify itself: response->worker_info carries its
+  /// partition geometry (num_shards, owned range, ψ, catalog size, users).
+  Status Register(NetResponse* response);
+  /// Liveness probe; the response echoes `seq` and reports queries_total.
+  Status Heartbeat(uint64_t seq, NetResponse* response);
+  /// Round-1 top-k bound sweep over the peer's owned shards: response->
+  /// bounds (per facility) and response->bound_exacts (settled facilities).
+  Status Bound(uint32_t k, NetResponse* response);
+  /// Cluster status: the peer's own info plus, on a coordinator, its
+  /// per-worker liveness table.
+  Status ClusterStatus(NetResponse* response);
 
   // ---- async batch API: pipeline frames, then drain --------------------
 
@@ -69,7 +90,10 @@ class NetClient {
   Status WriteAll(const char* data, size_t n);
   Status ReadFrame(std::string* payload);
 
+  void ApplyTimeout();
+
   int fd_ = -1;
+  uint64_t timeout_ms_ = 0;  // 0 = block forever
   std::string sendbuf_;  // frames queued by Send, drained by Flush
   FrameAssembler frames_;
   size_t pending_ = 0;

@@ -93,7 +93,7 @@ Status Truncated(const char* what) {
 
 StatusCode CodeFromWire(uint8_t raw) {
   // Unknown codes (a newer peer) collapse to kInternal rather than UB.
-  return raw > static_cast<uint8_t>(StatusCode::kInternal)
+  return raw > static_cast<uint8_t>(StatusCode::kUnavailable)
              ? StatusCode::kInternal
              : static_cast<StatusCode>(raw);
 }
@@ -116,6 +116,22 @@ void PutName(std::string* out, const std::string& s) {
   const size_t n = s.size() > 255 ? 255 : s.size();
   PutU8(out, static_cast<uint8_t>(n));
   out->append(s.data(), n);
+}
+
+/// 28-byte fixed layout shared by kRegister and kStatus responses.
+void PutWorkerInfo(std::string* out, const WireWorkerInfo& info) {
+  PutU32(out, info.num_shards);
+  PutU32(out, info.owned_begin);
+  PutU32(out, info.owned_end);
+  PutF64(out, info.psi);
+  PutU32(out, info.num_facilities);
+  PutU64(out, info.users_total);
+}
+
+bool GetWorkerInfo(Reader* r, WireWorkerInfo* info) {
+  return r->GetU32(&info->num_shards) && r->GetU32(&info->owned_begin) &&
+         r->GetU32(&info->owned_end) && r->GetF64(&info->psi) &&
+         r->GetU32(&info->num_facilities) && r->GetU64(&info->users_total);
 }
 
 }  // namespace
@@ -150,6 +166,15 @@ void EncodeRequest(const NetRequest& request, std::string* out) {
     case MessageType::kStats:
       PutU32(out, request.stats_max_traces);
       break;
+    case MessageType::kBound:
+      PutU32(out, request.bound_k);
+      break;
+    case MessageType::kHeartbeat:
+      PutU64(out, request.heartbeat_seq);
+      break;
+    case MessageType::kRegister:
+    case MessageType::kStatus:
+      break;  // identity / status requests carry no body
     case MessageType::kError:
       break;  // never encoded as a request; empty body
   }
@@ -227,6 +252,38 @@ void EncodeResponse(const NetResponse& response, std::string* out) {
         }
         break;
       }
+      case MessageType::kRegister:
+        PutWorkerInfo(out, response.worker_info);
+        break;
+      case MessageType::kHeartbeat:
+        PutU64(out, response.heartbeat_seq);
+        PutU64(out, response.heartbeat_queries);
+        break;
+      case MessageType::kBound:
+        PutU32(out, static_cast<uint32_t>(response.bounds.size()));
+        for (const double b : response.bounds) PutF64(out, b);
+        PutU32(out, static_cast<uint32_t>(response.bound_exacts.size()));
+        for (const auto& [f, v] : response.bound_exacts) {
+          PutU32(out, f);
+          PutF64(out, v);
+        }
+        break;
+      case MessageType::kStatus:
+        PutWorkerInfo(out, response.worker_info);
+        PutU32(out, static_cast<uint32_t>(response.workers.size()));
+        for (const WireWorkerStatus& w : response.workers) {
+          PutName(out, w.address);
+          PutU8(out, w.state);
+          PutU32(out, w.owned_begin);
+          PutU32(out, w.owned_end);
+          PutU64(out, w.heartbeats);
+          PutU64(out, w.failures);
+          PutU64(out, w.age_ms);
+          PutU64(out, w.rtt_count);
+          PutU64(out, w.rtt_p50_ns);
+          PutU64(out, w.rtt_p99_ns);
+        }
+        break;
       case MessageType::kError:
         break;  // status carries everything
     }
@@ -309,6 +366,24 @@ Status DecodeRequest(std::string_view payload, NetRequest* out) {
       if (!r.GetU32(&out->stats_max_traces)) return Truncated("stats request");
       break;
     }
+    case MessageType::kBound: {
+      out->type = MessageType::kBound;
+      if (!r.GetU32(&out->bound_k)) return Truncated("bound request");
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      out->type = MessageType::kHeartbeat;
+      if (!r.GetU64(&out->heartbeat_seq)) {
+        return Truncated("heartbeat request");
+      }
+      break;
+    }
+    case MessageType::kRegister:
+      out->type = MessageType::kRegister;
+      break;
+    case MessageType::kStatus:
+      out->type = MessageType::kStatus;
+      break;
     default:
       return Status::InvalidArgument("unknown request type " +
                                      std::to_string(type));
@@ -332,7 +407,7 @@ Status DecodeResponse(std::string_view payload, NetResponse* out) {
                                    std::to_string(version) +
                                    " not supported");
   }
-  if (type > static_cast<uint8_t>(MessageType::kStats)) {
+  if (type > static_cast<uint8_t>(MessageType::kStatus)) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type));
   }
@@ -453,6 +528,57 @@ Status DecodeResponse(std::string_view payload, NetResponse* out) {
       }
       break;
     }
+    case MessageType::kRegister: {
+      if (!GetWorkerInfo(&r, &out->worker_info)) {
+        return Truncated("register response");
+      }
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      if (!r.GetU64(&out->heartbeat_seq) ||
+          !r.GetU64(&out->heartbeat_queries)) {
+        return Truncated("heartbeat response");
+      }
+      break;
+    }
+    case MessageType::kBound: {
+      if (!r.GetU32(&count) || !r.Plausible(count, 8)) {
+        return Truncated("bound response");
+      }
+      out->bounds.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetF64(&out->bounds[i])) return Truncated("bound response");
+      }
+      if (!r.GetU32(&count) || !r.Plausible(count, 12)) {
+        return Truncated("bound response");
+      }
+      out->bound_exacts.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!r.GetU32(&out->bound_exacts[i].first) ||
+            !r.GetF64(&out->bound_exacts[i].second)) {
+          return Truncated("bound response");
+        }
+      }
+      break;
+    }
+    case MessageType::kStatus: {
+      if (!GetWorkerInfo(&r, &out->worker_info) || !r.GetU32(&count) ||
+          !r.Plausible(count, 58)) {
+        return Truncated("status response");
+      }
+      out->workers.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        WireWorkerStatus& w = out->workers[i];
+        if (!r.GetName(&w.address) || !r.GetU8(&w.state) ||
+            !r.GetU32(&w.owned_begin) || !r.GetU32(&w.owned_end) ||
+            !r.GetU64(&w.heartbeats) || !r.GetU64(&w.failures) ||
+            !r.GetU64(&w.age_ms) || !r.GetU64(&w.rtt_count) ||
+            !r.GetU64(&w.rtt_p50_ns) || !r.GetU64(&w.rtt_p99_ns)) {
+          return Truncated("status response");
+        }
+      }
+      break;
+    }
     case MessageType::kError:
       break;  // ok-status error frame: nothing further
   }
@@ -510,6 +636,44 @@ std::string WireStatsToJson(const WireStats& stats) {
       out += buf;
     }
     out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string WireStatusToJson(const WireWorkerInfo& self,
+                             const std::vector<WireWorkerStatus>& workers) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"self\":{\"num_shards\":%u,\"owned_begin\":%u,"
+                "\"owned_end\":%u,\"psi\":%.3f,\"num_facilities\":%u,"
+                "\"users_total\":%llu},\"workers\":[",
+                self.num_shards, self.owned_begin, self.owned_end, self.psi,
+                self.num_facilities,
+                static_cast<unsigned long long>(self.users_total));
+  std::string out = buf;
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const WireWorkerStatus& w = workers[i];
+    if (i != 0) out.push_back(',');
+    // Numeric WorkerRegistry::State values, rendered self-describing for
+    // scrapers (the CI distributed-smoke job keys on these strings).
+    const char* state = w.state == 1   ? "alive"
+                        : w.state == 2 ? "dead"
+                        : w.state == 0 ? "unregistered"
+                                       : "unknown";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"address\":\"%s\",\"state\":\"%s\",\"owned_begin\":%u,"
+                  "\"owned_end\":%u,\"heartbeats\":%llu,\"failures\":%llu,"
+                  "\"age_ms\":%llu,\"rtt_count\":%llu,\"rtt_p50_us\":%.1f,"
+                  "\"rtt_p99_us\":%.1f}",
+                  w.address.c_str(), state, w.owned_begin, w.owned_end,
+                  static_cast<unsigned long long>(w.heartbeats),
+                  static_cast<unsigned long long>(w.failures),
+                  static_cast<unsigned long long>(w.age_ms),
+                  static_cast<unsigned long long>(w.rtt_count),
+                  static_cast<double>(w.rtt_p50_ns) / 1e3,
+                  static_cast<double>(w.rtt_p99_ns) / 1e3);
+    out += buf;
   }
   out += "]}";
   return out;

@@ -53,6 +53,13 @@ enum class MessageType : uint8_t {
   kTopK = 2,    // batch of kMaxRRST queries
   kUpdate = 3,  // trajectory inserts + removes (a write batch)
   kStats = 4,   // metrics + latency histograms + recent traces introspection
+  // Coordinator/worker frames (the distributed serving layer; the cctools
+  // work_queue master/worker registration+heartbeat protocol is the shape
+  // exemplar).
+  kRegister = 5,   // coordinator -> worker: identify yourself
+  kHeartbeat = 6,  // coordinator -> worker: liveness probe (echoed seq)
+  kBound = 7,      // round-1 top-k bound sweep over the worker's shards
+  kStatus = 8,     // cluster status: self info + per-worker liveness table
 };
 
 /// One latency histogram summary inside a stats response — the wire form of
@@ -100,6 +107,39 @@ struct WireStats {
 /// `# json:` form `tqcover_cli stats` emits; CI parses it).
 std::string WireStatsToJson(const WireStats& stats);
 
+/// A serving process's identity, carried by kRegister and kStatus responses.
+/// A worker owns the Z-order shard range [owned_begin, owned_end) of a
+/// `num_shards`-way partition computed over the FULL user set — every peer
+/// must agree on num_shards, psi, num_facilities and users_total, or their
+/// per-shard answers are not composable.
+struct WireWorkerInfo {
+  uint32_t num_shards = 0;
+  uint32_t owned_begin = 0;
+  uint32_t owned_end = 0;  // == num_shards and begin == 0 for all-owning
+  double psi = 0.0;
+  uint32_t num_facilities = 0;
+  uint64_t users_total = 0;
+};
+
+/// One worker's liveness row inside a coordinator's kStatus response.
+struct WireWorkerStatus {
+  std::string address;  // "host:port"
+  uint8_t state = 0;    // runtime::WorkerRegistry::State numeric value
+  uint32_t owned_begin = 0;
+  uint32_t owned_end = 0;
+  uint64_t heartbeats = 0;   // successful heartbeat round-trips
+  uint64_t failures = 0;     // RPC failures observed against this worker
+  uint64_t age_ms = 0;       // time since the last successful contact
+  uint64_t rtt_count = 0;    // per-worker RTT histogram summary
+  uint64_t rtt_p50_ns = 0;
+  uint64_t rtt_p99_ns = 0;
+};
+
+/// Machine-parsable one-line JSON for a kStatus scrape (`tqcover_cli status`
+/// emits it as `# json:`; the CI distributed-smoke job parses it).
+std::string WireStatusToJson(const WireWorkerInfo& self,
+                             const std::vector<WireWorkerStatus>& workers);
+
 /// One decoded request frame. Exactly the fields of the frame's type are
 /// populated; ψ = 0 means "serve with the engine's configured ψ", any other
 /// value must match it exactly (the index is built for one ψ).
@@ -114,6 +154,10 @@ struct NetRequest {
   std::vector<uint32_t> removes;            // kUpdate: global trajectory ids
   /// kStats: cap on returned traces (the server additionally clamps).
   uint32_t stats_max_traces = 0;
+  /// kBound: the k of the top-k query whose round-1 sweep this is.
+  uint32_t bound_k = 0;
+  /// kHeartbeat: caller-chosen sequence number, echoed by the response.
+  uint64_t heartbeat_seq = 0;
 
   static NetRequest Sum(std::vector<FacilityId> facilities) {
     NetRequest r;
@@ -139,6 +183,28 @@ struct NetRequest {
     NetRequest r;
     r.type = MessageType::kStats;
     r.stats_max_traces = max_traces;
+    return r;
+  }
+  static NetRequest Register() {
+    NetRequest r;
+    r.type = MessageType::kRegister;
+    return r;
+  }
+  static NetRequest Heartbeat(uint64_t seq) {
+    NetRequest r;
+    r.type = MessageType::kHeartbeat;
+    r.heartbeat_seq = seq;
+    return r;
+  }
+  static NetRequest Bound(uint32_t k) {
+    NetRequest r;
+    r.type = MessageType::kBound;
+    r.bound_k = k;
+    return r;
+  }
+  static NetRequest ClusterStatus() {
+    NetRequest r;
+    r.type = MessageType::kStatus;
     return r;
   }
 };
@@ -170,6 +236,15 @@ struct NetResponse {
   std::vector<uint64_t> shard_generations;    // kUpdate: post-publish gens
   std::vector<uint32_t> assigned_ids;         // kUpdate: ids for `inserts`
   WireStats stats;                            // kStats
+  WireWorkerInfo worker_info;                 // kRegister, kStatus (self)
+  std::vector<WireWorkerStatus> workers;      // kStatus (empty on workers)
+  /// kBound: per-facility upper bounds Σ_{owned s} UB_s(f), facility order.
+  std::vector<double> bounds;
+  /// kBound: facilities the worker settled exactly in its local rounds, as
+  /// (facility id, Σ_{owned s} SO_s(f)) pairs.
+  std::vector<std::pair<uint32_t, double>> bound_exacts;
+  uint64_t heartbeat_seq = 0;      // kHeartbeat: echoed request seq
+  uint64_t heartbeat_queries = 0;  // kHeartbeat: worker's queries_total
 };
 
 /// Appends one whole frame (header + payload) for `request` to `*out`.

@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -136,14 +137,25 @@ WireStats BuildWireStats(const runtime::MetricsView& m,
 /// Hard cap on traces in one stats response, whatever the client asked for.
 constexpr uint32_t kMaxStatsTraces = 64;
 
+WireWorkerInfo ToWireInfo(const runtime::EngineInfo& info) {
+  WireWorkerInfo w;
+  w.num_shards = info.num_shards;
+  w.owned_begin = info.owned_begin;
+  w.owned_end = info.owned_end;
+  w.psi = info.psi;
+  w.num_facilities = info.num_facilities;
+  w.users_total = info.users_total;
+  return w;
+}
+
 }  // namespace
 
-NetServer::NetServer(runtime::ShardedEngine* engine, NetServerOptions options)
+NetServer::NetServer(runtime::ServingEngine* engine, NetServerOptions options)
     : engine_(engine),
       metrics_(engine->mutable_metrics()),
       options_(options) {
   TQ_CHECK(engine != nullptr);
-  engine_psi_ = engine_->snapshot()->catalog->psi();
+  engine_psi_ = engine_->psi();
   if (options_.update_batch == 0) options_.update_batch = 1;
 }
 
@@ -181,9 +193,10 @@ Status NetServer::Start() {
 
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
   spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
-  if (epoll_fd_ < 0 || wake_fd_ < 0) {
-    const Status st = Errno("epoll/eventfd");
+  if (epoll_fd_ < 0 || wake_fd_ < 0 || timer_fd_ < 0) {
+    const Status st = Errno("epoll/eventfd/timerfd");
     Stop();
     return st;
   }
@@ -193,6 +206,12 @@ Status NetServer::Start() {
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
   ev.data.fd = wake_fd_;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ev.data.fd = timer_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &ev);
+  tick_period_ns_ = engine_->tick_period_ms() * 1'000'000ull;
+  flush_deadline_ns_ = 0;
+  next_tick_ns_ = 0;
+  timer_armed_ns_ = 0;
 
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -231,7 +250,8 @@ void NetServer::Stop() {
     std::lock_guard<std::mutex> lock(dirty_mu_);
     dirty_.clear();
   }
-  for (int* fd : {&listen_fd_, &epoll_fd_, &wake_fd_, &spare_fd_}) {
+  for (int* fd :
+       {&listen_fd_, &epoll_fd_, &wake_fd_, &timer_fd_, &spare_fd_}) {
     if (*fd >= 0) ::close(*fd);
     *fd = -1;
   }
@@ -242,21 +262,48 @@ void NetServer::WakeLoop() {
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
 }
 
+void NetServer::RearmTimer() {
+  uint64_t want = flush_deadline_ns_;
+  if (next_tick_ns_ != 0 && (want == 0 || next_tick_ns_ < want)) {
+    want = next_tick_ns_;
+  }
+  if (want == timer_armed_ns_) return;  // same target: no syscall
+  itimerspec its{};  // all-zero it_value disarms
+  if (want != 0) {
+    // Relative one-shot arm: independent of any epoch agreement between
+    // NowNs and the timerfd clock. A deadline already in the past becomes
+    // a 1 ns timer — an immediate wake. If the fd ever fires early, the
+    // expiry handler re-arms with the remainder (timer_armed_ns_ is reset
+    // to 0 on every fire), so nothing is ever missed.
+    const uint64_t now = runtime::NowNs();
+    const uint64_t delta = want > now ? want - now : 1;
+    its.it_value.tv_sec = static_cast<time_t>(delta / 1'000'000'000ull);
+    its.it_value.tv_nsec = static_cast<long>(delta % 1'000'000'000ull);
+    if (its.it_value.tv_sec == 0 && its.it_value.tv_nsec == 0) {
+      its.it_value.tv_nsec = 1;
+    }
+  }
+  ::timerfd_settime(timer_fd_, 0, &its, nullptr);
+  timer_armed_ns_ = want;
+}
+
 void NetServer::EventLoop() {
+  if (tick_period_ns_ != 0) {
+    next_tick_ns_ = runtime::NowNs() + tick_period_ns_;
+  }
+  RearmTimer();
   epoll_event events[64];
   while (!stopping_.load(std::memory_order_acquire)) {
-    // Pending coalesced updates flush within one poll round: an update
-    // parked in round i is flushed by the end of round i+1 — whatever
-    // arrives in between coalesces with it, and busy traffic on OTHER
-    // connections cannot starve it (the flush no longer waits for a fully
-    // idle loop).
-    const bool flush_after_round = !pending_updates_.empty();
-    const int timeout_ms = flush_after_round ? 0 : -1;
-    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    // The loop always parks with an infinite timeout: every timed duty —
+    // the parked-update flush and the periodic engine tick — lives on the
+    // one-shot timerfd, re-armed only when the nearest deadline changes,
+    // instead of a per-round timeout recomputation.
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    bool timer_fired = false;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
@@ -269,6 +316,14 @@ void NetServer::EventLoop() {
             ::read(wake_fd_, &drained, sizeof(drained));
         continue;
       }
+      if (fd == timer_fd_) {
+        uint64_t expirations = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(timer_fd_, &expirations, sizeof(expirations));
+        timer_armed_ns_ = 0;  // one-shot consumed; RearmTimer re-targets
+        timer_fired = true;
+        continue;
+      }
       const auto it = connections_.find(fd);
       if (it == connections_.end()) continue;  // closed earlier this round
       const std::shared_ptr<Connection> conn = it->second;
@@ -279,7 +334,21 @@ void NetServer::EventLoop() {
         FlushOutbox(conn);
       }
     }
-    if (flush_after_round) FlushUpdates();
+    if (timer_fired) {
+      const uint64_t now = runtime::NowNs();
+      // Pending coalesced updates flush within one poll round of parking:
+      // the flush deadline is the parking instant itself, so the timer is
+      // already expired when armed and the very next round flushes —
+      // whatever arrived in between coalesces with it, and busy traffic on
+      // OTHER connections cannot starve it.
+      if (flush_deadline_ns_ != 0 && now >= flush_deadline_ns_) {
+        FlushUpdates();
+      }
+      if (next_tick_ns_ != 0 && now >= next_tick_ns_) {
+        engine_->Tick();
+        next_tick_ns_ = runtime::NowNs() + tick_period_ns_;
+      }
+    }
     // Stage-to-socket handoff: connections whose callbacks completed
     // responses since the last round.
     std::vector<std::shared_ptr<Connection>> dirty;
@@ -293,6 +362,7 @@ void NetServer::EventLoop() {
       const auto it = connections_.find(conn->fd);
       if (it != connections_.end() && it->second == conn) FlushOutbox(conn);
     }
+    RearmTimer();
   }
   // Shutdown: parked update frames still get applied and answered (their
   // responses are flushed best-effort by Stop()).
@@ -413,7 +483,7 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     resp.status = Status::InvalidArgument(
         "engine serves psi=" + std::to_string(engine_psi_) +
         ", request asked for psi=" + std::to_string(request.psi));
-    resp.snapshot_version = engine_->snapshot()->version;
+    resp.snapshot_version = engine_->snapshot_version();
     std::string bytes;
     EncodeResponse(resp, &bytes);
     Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
@@ -450,7 +520,14 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       pending.inserts = std::move(request.inserts);
       pending.removes = std::move(request.removes);
       pending_updates_.push_back(std::move(pending));
-      if (pending_updates_.size() >= options_.update_batch) FlushUpdates();
+      if (pending_updates_.size() >= options_.update_batch) {
+        FlushUpdates();
+      } else if (flush_deadline_ns_ == 0) {
+        // First parked update: the flush deadline is NOW, so the timerfd
+        // (re-armed at the end of this round) wakes the loop immediately
+        // and the next round flushes.
+        flush_deadline_ns_ = runtime::NowNs();
+      }
       break;
     }
     case MessageType::kStats: {
@@ -458,7 +535,7 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       // bounded ring copy, so it cannot block behind the worker pool.
       NetResponse resp;
       resp.type = MessageType::kStats;
-      resp.snapshot_version = engine_->snapshot()->version;
+      resp.snapshot_version = engine_->snapshot_version();
       const uint32_t max_traces =
           std::min(request.stats_max_traces, kMaxStatsTraces);
       resp.stats = BuildWireStats(metrics_->Read(),
@@ -466,6 +543,82 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       std::string bytes;
       EncodeResponse(resp, &bytes);
       Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      break;
+    }
+    case MessageType::kRegister: {
+      // Identity handshake, answered inline (no engine work): the peer
+      // verifies partition geometry before trusting composed answers.
+      NetResponse resp;
+      resp.type = MessageType::kRegister;
+      const runtime::EngineInfo info = engine_->info();
+      resp.snapshot_version = info.snapshot_version;
+      resp.worker_info = ToWireInfo(info);
+      std::string bytes;
+      EncodeResponse(resp, &bytes);
+      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      break;
+    }
+    case MessageType::kHeartbeat: {
+      // Echo the probe sequence inline; queries_total rides along so a
+      // coordinator can watch worker progress without a stats scrape.
+      NetResponse resp;
+      resp.type = MessageType::kHeartbeat;
+      resp.snapshot_version = engine_->snapshot_version();
+      resp.heartbeat_seq = request.heartbeat_seq;
+      resp.heartbeat_queries = metrics_->Read().queries_total;
+      std::string bytes;
+      EncodeResponse(resp, &bytes);
+      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      break;
+    }
+    case MessageType::kStatus: {
+      NetResponse resp;
+      resp.type = MessageType::kStatus;
+      const runtime::EngineInfo info = engine_->info();
+      resp.snapshot_version = info.snapshot_version;
+      resp.worker_info = ToWireInfo(info);
+      for (const runtime::WorkerStatus& w : engine_->Workers()) {
+        WireWorkerStatus row;
+        row.address = w.address;
+        row.state = w.state;
+        row.owned_begin = w.owned_begin;
+        row.owned_end = w.owned_end;
+        row.heartbeats = w.heartbeats;
+        row.failures = w.failures;
+        row.age_ms = w.age_ms;
+        row.rtt_count = w.rtt.count;
+        row.rtt_p50_ns = w.rtt.Percentile(0.50);
+        row.rtt_p99_ns = w.rtt.Percentile(0.99);
+        resp.workers.push_back(std::move(row));
+      }
+      std::string bytes;
+      EncodeResponse(resp, &bytes);
+      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      break;
+    }
+    case MessageType::kBound: {
+      // One round-1 bound sweep, dispatched to the engine's pool like the
+      // read paths (inflight-accounted so Stop() outlives the callback).
+      const uint64_t seq = AllocSlot(conn.get());
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_ += 1;
+      }
+      engine_->TopKBoundSweepAsync(
+          request.bound_k,
+          [this, conn, seq, rx_ns](runtime::BoundSweepResult result) {
+            NetResponse resp;
+            resp.type = MessageType::kBound;
+            resp.status = std::move(result.status);
+            resp.snapshot_version = result.snapshot_version;
+            resp.bounds = std::move(result.bounds);
+            resp.bound_exacts = std::move(result.exacts);
+            std::string bytes;
+            EncodeResponse(resp, &bytes);
+            Complete(conn, seq, std::move(bytes), rx_ns);
+            std::lock_guard<std::mutex> lock(inflight_mu_);
+            if (--inflight_ == 0) inflight_cv_.notify_all();
+          });
       break;
     }
     case MessageType::kError:
@@ -486,7 +639,7 @@ void NetServer::DispatchBatch(
   if (count == 0) {
     NetResponse header;
     header.type = type;
-    header.snapshot_version = engine_->snapshot()->version;
+    header.snapshot_version = engine_->snapshot_version();
     std::string bytes;
     EncodeResponse(header, &bytes);
     Complete(conn, seq, std::move(bytes), rx_ns);
@@ -564,6 +717,7 @@ void NetServer::DispatchTopK(const std::shared_ptr<Connection>& conn,
 }
 
 void NetServer::FlushUpdates() {
+  flush_deadline_ns_ = 0;  // everything parked is about to be applied
   if (pending_updates_.empty()) return;
   std::vector<PendingUpdate> pending;
   pending.swap(pending_updates_);
@@ -585,17 +739,13 @@ void NetServer::FlushUpdates() {
     ids = engine_->ApplyUpdates(batch);
     metrics_->AddNetBatchesCoalesced(pending.size() - 1);
   }
-  const runtime::ShardedSnapshotPtr snap = engine_->snapshot();
-  std::vector<uint64_t> generations;
-  generations.reserve(snap->shards.size());
-  for (const auto& shard : snap->shards) {
-    generations.push_back(shard->generation);
-  }
+  const std::vector<uint64_t> generations = engine_->shard_generations();
+  const uint64_t version = engine_->snapshot_version();
   size_t id_offset = 0;
   for (size_t i = 0; i < pending.size(); ++i) {
     NetResponse resp;
     resp.type = MessageType::kUpdate;
-    resp.snapshot_version = snap->version;
+    resp.snapshot_version = version;
     resp.shard_generations = generations;
     resp.assigned_ids.assign(
         ids.begin() + static_cast<std::ptrdiff_t>(id_offset),

@@ -53,7 +53,7 @@
 
 #include "common/status.h"
 #include "net/protocol.h"
-#include "runtime/sharded_engine.h"
+#include "runtime/serving_engine.h"
 
 namespace tq::net {
 
@@ -82,9 +82,15 @@ struct NetServerOptions {
 /// and spawns the event-loop thread; Stop() (idempotent, also run by the
 /// destructor) drains in-flight work and closes every socket. The engine
 /// must outlive the server.
+///
+/// The server speaks to any runtime::ServingEngine — the in-process
+/// ShardedEngine (a single process or a shard worker, which additionally
+/// answers kRegister/kHeartbeat/kBound) or the RemoteShardSet coordinator
+/// (whose Workers() table fills kStatus and whose Tick() drives heartbeats
+/// off this loop's timerfd).
 class NetServer {
  public:
-  NetServer(runtime::ShardedEngine* engine, NetServerOptions options);
+  NetServer(runtime::ServingEngine* engine, NetServerOptions options);
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -133,6 +139,10 @@ class NetServer {
       std::vector<Result> NetResponse::* results_field,
       runtime::TraceContextPtr trace, uint64_t rx_ns);
   void FlushUpdates();
+  /// Re-arms the one-shot timerfd to the nearest pending deadline (update
+  /// flush, engine tick) — a no-op syscall-wise when the target is
+  /// unchanged. Loop thread only.
+  void RearmTimer();
   /// Fills slot `seq` with encoded bytes and stages any newly-ready FIFO
   /// prefix for writing. Safe from any thread. A non-zero `rx_ns` (the
   /// frame's decode timestamp) records decode-to-staged latency into the
@@ -152,7 +162,7 @@ class NetServer {
   void FailConnection(const std::shared_ptr<Connection>& conn,
                       MessageType type, Status status);
 
-  runtime::ShardedEngine* engine_;
+  runtime::ServingEngine* engine_;
   runtime::MetricsRegistry* metrics_;
   NetServerOptions options_;
   /// The serving ψ, fixed for the engine's lifetime (the catalog is shared
@@ -163,8 +173,18 @@ class NetServer {
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;   // eventfd: completion callbacks wake the loop
+  /// One CLOCK_MONOTONIC timerfd carries BOTH timed duties of the loop —
+  /// the parked-update flush and the engine's periodic Tick — so
+  /// epoll_wait always blocks with timeout -1 instead of recomputing a
+  /// timeout every poll round. One-shot, re-armed to the nearest deadline.
+  int timer_fd_ = -1;
   int spare_fd_ = -1;  // reserve fd, sacrificed to shed accepts on EMFILE
   uint16_t port_ = 0;
+  // Timer deadlines (loop thread only, NowNs clock, 0 = none).
+  uint64_t flush_deadline_ns_ = 0;  // set when the first update is parked
+  uint64_t next_tick_ns_ = 0;       // next engine Tick, when period > 0
+  uint64_t tick_period_ns_ = 0;
+  uint64_t timer_armed_ns_ = 0;     // what the timerfd is currently set to
   std::thread loop_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

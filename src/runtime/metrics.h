@@ -55,6 +55,11 @@ namespace tq::runtime {
 //                            connections accepted, frames decoded, update
 //                            frames merged into a pending publish, payload
 //                            bytes in / out incl. the 4-byte frame headers
+//   coord_*/heartbeats_sent/worker_failures
+//                            coordinator accounting (runtime/remote_shard_set):
+//                            worker RPCs issued, queries answered from fewer
+//                            workers than configured, heartbeat probes sent,
+//                            alive->dead worker transitions observed
 #define TQ_METRICS_COUNTERS(X) \
   X(queries_total)             \
   X(service_queries)           \
@@ -82,7 +87,11 @@ namespace tq::runtime {
   X(net_requests_decoded)      \
   X(net_batches_coalesced)     \
   X(net_bytes_in)              \
-  X(net_bytes_out)
+  X(net_bytes_out)             \
+  X(coord_rpcs)                \
+  X(coord_partial)             \
+  X(heartbeats_sent)           \
+  X(worker_failures)
 
 /// Plain-value snapshot of a MetricsRegistry, safe to copy and format.
 struct MetricsView {
@@ -202,6 +211,20 @@ class MetricsRegistry {
   }
   void AddNetBytesOut(uint64_t n) {
     if (n) net_bytes_out_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Coordinator accounting (bumped by runtime::RemoteShardSet only).
+  void AddCoordRpcs(uint64_t n) {
+    if (n) coord_rpcs_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddCoordPartial() {
+    coord_partial_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddHeartbeatsSent(uint64_t n) {
+    if (n) heartbeats_sent_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddWorkerFailure() {
+    worker_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Folds one query's traversal counters into the registry.

@@ -1,0 +1,119 @@
+// The abstract serving-engine surface the network front-end talks to.
+//
+// src/net/server.h used to be hard-wired to ShardedEngine; the distributed
+// layer needs the SAME front-end (same wire protocol, same epoll loop, same
+// pipelining) over a coordinator that owns no trees at all — only
+// connections to shard-worker processes. This interface is exactly the
+// slice of engine behaviour the front-end consumes, nothing more:
+//
+//   * async query dispatch (SubmitAsync) and synchronous write application
+//     (ApplyUpdates) — the two data paths;
+//   * metrics + tracer access, ψ, snapshot version and per-shard
+//     generations — the introspection the stats/update frames report;
+//   * the distributed-protocol hooks: identity (info), the round-1 top-k
+//     bound sweep (TopKBoundSweepAsync, serving kBound frames), the
+//     per-worker liveness table (Workers, serving kStatus frames), and the
+//     periodic Tick the front-end's timerfd drives (heartbeats).
+//
+// ShardedEngine implements it in-process; RemoteShardSet implements it over
+// the wire. The front-end cannot tell them apart — which is precisely the
+// test the distributed smoke matrix runs.
+#ifndef TQCOVER_RUNTIME_SERVING_ENGINE_H_
+#define TQCOVER_RUNTIME_SERVING_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/engine.h"
+#include "runtime/histogram.h"
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
+
+namespace tq::runtime {
+
+/// A serving process's identity: the partition geometry every peer must
+/// agree on before per-shard answers compose. Mirrors net::WireWorkerInfo
+/// (kept separate so runtime/ does not depend on net/).
+struct EngineInfo {
+  uint32_t num_shards = 0;
+  uint32_t owned_begin = 0;  // owned Z-order shard range [begin, end)
+  uint32_t owned_end = 0;
+  double psi = 0.0;
+  uint32_t num_facilities = 0;
+  uint64_t users_total = 0;
+  uint64_t snapshot_version = 0;
+};
+
+/// Result of a round-1 top-k bound sweep over an engine's owned shards:
+/// per-facility upper bounds plus the facilities the sweep already settled
+/// exactly. The coordinator treats each worker as one "super-shard" —
+/// B(f) = Σ_w bounds_w[f] and L(f) = Σ_{w that settled f} exact_w(f) feed
+/// the same prune threshold proof as the in-process protocol.
+struct BoundSweepResult {
+  Status status;
+  uint64_t snapshot_version = 0;
+  std::vector<double> bounds;  // one per facility, facility order
+  std::vector<std::pair<uint32_t, double>> exacts;  // (facility, exact sum)
+};
+
+/// One worker's liveness row (coordinator engines only; in-process engines
+/// report an empty table). `state` uses WorkerRegistry::State values.
+struct WorkerStatus {
+  std::string address;
+  uint8_t state = 0;
+  uint32_t owned_begin = 0;
+  uint32_t owned_end = 0;
+  uint64_t heartbeats = 0;
+  uint64_t failures = 0;
+  uint64_t age_ms = 0;          // since last successful contact
+  HistogramSnapshot rtt;        // per-worker RPC round-trip distribution
+};
+
+class ServingEngine {
+ public:
+  using ResponseCallback = std::function<void(QueryResponse)>;
+  using BoundSweepCallback = std::function<void(BoundSweepResult)>;
+
+  virtual ~ServingEngine() = default;
+
+  // ---- introspection ---------------------------------------------------
+  virtual MetricsRegistry* mutable_metrics() = 0;
+  virtual const Tracer& tracer() const = 0;
+  virtual Tracer* mutable_tracer() = 0;
+  /// The serving ψ, fixed for the engine's lifetime.
+  virtual double psi() const = 0;
+  virtual uint64_t snapshot_version() const = 0;
+  /// Per-shard publish generations, shard order (kUpdate responses).
+  virtual std::vector<uint64_t> shard_generations() const = 0;
+  virtual EngineInfo info() const = 0;
+  /// Liveness table for kStatus frames; empty unless this is a coordinator.
+  virtual std::vector<WorkerStatus> Workers() const { return {}; }
+
+  // ---- data paths ------------------------------------------------------
+  /// Async query dispatch; `done` runs exactly once, possibly inline, and
+  /// must not block. `start_ns` (0 = read the clock now) backdates the
+  /// latency sample to the frame's receive timestamp.
+  virtual void SubmitAsync(QueryRequest request, TraceContextPtr trace,
+                           ResponseCallback done, uint64_t start_ns) = 0;
+  /// Synchronous write application; returns the assigned global ids.
+  virtual std::vector<uint32_t> ApplyUpdates(const UpdateBatch& batch) = 0;
+  /// Round-1 bound sweep for one top-k query over this engine's owned
+  /// shards (serves kBound frames). `done` runs exactly once, possibly
+  /// inline, and must not block.
+  virtual void TopKBoundSweepAsync(size_t k, BoundSweepCallback done) = 0;
+
+  // ---- periodic maintenance --------------------------------------------
+  /// How often the front-end should call Tick(); 0 = never (no timer).
+  virtual uint64_t tick_period_ms() const { return 0; }
+  /// Called from the front-end's event loop on the tick period. Must not
+  /// block: long work (heartbeat RPCs, say) is handed to a pool inside.
+  virtual void Tick() {}
+};
+
+}  // namespace tq::runtime
+
+#endif  // TQCOVER_RUNTIME_SERVING_ENGINE_H_

@@ -72,6 +72,10 @@ struct ShardedEngine::GatherState {
   std::atomic<uint64_t> evaluated{0};
   /// Coordinator rounds executed (1 when round 1 settled everything).
   uint32_t rounds = 0;
+  /// Set for TopKBoundSweepAsync: the query stops after round 1 and emits
+  /// bounds + exactly-settled facilities for a REMOTE coordinator instead
+  /// of coordinating locally.
+  BoundSweepCallback bound_done;
 };
 
 ShardedEngine::ShardedEngine(TrajectorySet users, TrajectorySet facilities,
@@ -85,11 +89,24 @@ ShardedEngine::ShardedEngine(TrajectorySet users, TrajectorySet facilities,
   // Partition the initial users; global id = position in `users`, preserved
   // by the registry so later removes can find (shard, local id).
   const size_t n = router_.num_shards();
+  owned_begin_ = options_.owned_begin;
+  owned_end_ = options_.owned_end;
+  if (owned_begin_ == 0 && owned_end_ == 0) {
+    owned_end_ = static_cast<uint32_t>(n);  // single-process: own everything
+  }
+  TQ_CHECK(owned_begin_ < owned_end_ && owned_end_ <= n);
   std::vector<TrajectorySet> shard_sets(n);
+  shard_user_counts_.assign(n, 0);
   users_.reserve(users.size());
   for (uint32_t u = 0; u < users.size(); ++u) {
     const auto shard = static_cast<uint32_t>(router_.Route(users.points(u)));
-    const uint32_t local = shard_sets[shard].Add(users.points(u));
+    // Non-owned shards advance only the logical counter: the (shard, local)
+    // assignment stays identical to a worker that DOES own the shard, but
+    // no set (and later no tree) is materialized for it.
+    const uint32_t local = Owns(shard)
+                               ? shard_sets[shard].Add(users.points(u))
+                               : shard_user_counts_[shard];
+    shard_user_counts_[shard]++;
     users_.push_back(UserLocation{shard, local});
   }
 
@@ -145,6 +162,27 @@ ShardedEngine::UserLocation ShardedEngine::LocateUser(
 size_t ShardedEngine::NumUsersTotal() const {
   std::lock_guard<std::mutex> lock(registry_mu_);
   return users_.size();
+}
+
+std::vector<uint64_t> ShardedEngine::shard_generations() const {
+  const ShardedSnapshotPtr snap = snapshot();
+  std::vector<uint64_t> gens;
+  gens.reserve(snap->shards.size());
+  for (const auto& shard : snap->shards) gens.push_back(shard->generation);
+  return gens;
+}
+
+EngineInfo ShardedEngine::info() const {
+  const ShardedSnapshotPtr snap = snapshot();
+  EngineInfo info;
+  info.num_shards = static_cast<uint32_t>(router_.num_shards());
+  info.owned_begin = owned_begin_;
+  info.owned_end = owned_end_;
+  info.psi = options_.tree.model.psi;
+  info.num_facilities = static_cast<uint32_t>(snap->catalog->size());
+  info.users_total = NumUsersTotal();
+  info.snapshot_version = snap->version;
+  return info;
 }
 
 std::future<QueryResponse> ShardedEngine::Submit(QueryRequest request) {
@@ -511,7 +549,11 @@ void ShardedEngine::ExecuteTopKBoundRound(
     }
   }
   if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    CoordinateTopK(state);
+    if (state->bound_done) {
+      FinishBoundSweep(state.get());
+    } else {
+      CoordinateTopK(state);
+    }
   }
 }
 
@@ -670,6 +712,81 @@ void ShardedEngine::FinishTopK(GatherState* state) {
   state->done(std::move(response));
 }
 
+void ShardedEngine::FinishBoundSweep(GatherState* state) {
+  const ShardedSnapshot& snap = *state->snap;
+  const size_t n = snap.shards.size();
+  const size_t num_fac = snap.catalog->size();
+  BoundSweepResult result;
+  result.snapshot_version = snap.version;
+  result.bounds.assign(num_fac, 0.0);
+
+  QueryStats total;
+  for (size_t s = 0; s < n; ++s) total.Add(state->stats[s]);
+
+  // Per-facility bound over the owned shards (non-owned shards hold empty
+  // trees, so their UB is exactly 0), plus the exact sum for facilities
+  // EVERY shard settled in round 1 — the coordinator's partial lower
+  // bounds, summed in ascending shard order for bit-identity.
+  for (uint32_t f = 0; f < num_fac; ++f) {
+    double bound = 0.0;
+    bool fully_known = true;
+    for (size_t s = 0; s < n; ++s) {
+      bound += state->bounds[s][f];
+      fully_known = fully_known && state->known[s][f] != 0;
+    }
+    result.bounds[f] = bound;
+    if (fully_known) {
+      double sum = 0.0;
+      for (size_t s = 0; s < n; ++s) sum += state->fac_values[s][f];
+      result.exacts.emplace_back(f, sum);
+    }
+  }
+
+  const uint64_t evaluated = state->evaluated.load(std::memory_order_relaxed);
+  const uint64_t slots = static_cast<uint64_t>(num_fac) * n;
+  metrics_.AddTopKPruneWork(evaluated, slots - evaluated, 1);
+  metrics_.RecordQueryStats(total);
+  state->bound_done(std::move(result));
+}
+
+void ShardedEngine::TopKBoundSweepAsync(size_t k, BoundSweepCallback done) {
+  auto state = std::make_shared<GatherState>();
+  state->snap = snapshot();
+  // A bound sweep is one top-k query's round 1 worth of work — count and
+  // time it as a top-k query so the histogram-vs-counter invariant the CI
+  // observability smoke asserts holds on workers too.
+  metrics_.AddQuery(/*topk=*/true);
+  const uint64_t t0 = metrics_.latency_recording() ? NowNs() : 0;
+  state->bound_done = [this, t0,
+                       inner = std::move(done)](BoundSweepResult result) {
+    if (t0 != 0) metrics_.RecordLatency(OpFamily::kTopKQuery, NowNs() - t0);
+    inner(std::move(result));
+  };
+
+  const size_t num_fac = state->snap->catalog->size();
+  if (num_fac == 0) {
+    BoundSweepResult result;
+    result.snapshot_version = state->snap->version;
+    state->bound_done(std::move(result));
+    return;
+  }
+  state->request.kind = QueryKind::kTopK;
+  state->request.k = std::max<size_t>(1, std::min(k, num_fac));
+
+  const size_t n = state->snap->shards.size();
+  state->fac_values.resize(n);
+  state->stats.resize(n);
+  state->hits.assign(n, 0);
+  state->bounds.resize(n);
+  state->known.resize(n);
+  state->remaining.store(n, std::memory_order_relaxed);
+  for (size_t s = 0; s < n; ++s) {
+    pool_.Post([this, state, s]() {
+      ExecuteTopKBoundRound(state, s, /*post_ns=*/0);
+    });
+  }
+}
+
 std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   const auto publish_start = std::chrono::steady_clock::now();
@@ -678,12 +795,13 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
 
   // Route inserts and pre-assign shard-local ids (append positions in each
   // shard's copy-on-write user set), then register global ids — in batch
-  // order, so a remove in this same batch can already reference them.
+  // order, so a remove in this same batch can already reference them. The
+  // LOGICAL per-shard counts drive the assignment, not the materialized set
+  // sizes: a worker's non-owned shards have empty sets but must hand out
+  // the same local ids as the worker that owns them, or global ids diverge
+  // across the cluster.
   std::vector<std::vector<uint32_t>> shard_inserts(n);  // batch indices
-  std::vector<uint32_t> next_local(n);
-  for (size_t s = 0; s < n; ++s) {
-    next_local[s] = static_cast<uint32_t>(cur->shards[s]->users->size());
-  }
+  std::vector<uint32_t> next_local = shard_user_counts_;
   std::vector<UserLocation> new_locations;
   new_locations.reserve(batch.inserts.size());
   for (size_t i = 0; i < batch.inserts.size(); ++i) {
@@ -691,6 +809,7 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
     shard_inserts[shard].push_back(static_cast<uint32_t>(i));
     new_locations.push_back(UserLocation{shard, next_local[shard]++});
   }
+  shard_user_counts_ = next_local;
   std::vector<uint32_t> new_ids;
   new_ids.reserve(batch.inserts.size());
   std::vector<std::vector<uint32_t>> shard_removes(n);  // local ids
@@ -718,6 +837,10 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
   uint64_t pages_shared = 0;
   std::vector<uint32_t> touched_shards;
   for (size_t s = 0; s < n; ++s) {
+    // Writes routed to a non-owned shard are someone else's work: the
+    // owning worker applies them from the same fanned-out batch, and the
+    // registry bookkeeping above already advanced this worker's view.
+    if (!Owns(s)) continue;
     if (shard_inserts[s].empty() && shard_removes[s].empty()) continue;
     const ShardState& old = *cur->shards[s];
     auto users = std::make_shared<TrajectorySet>(*old.users);

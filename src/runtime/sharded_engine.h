@@ -70,6 +70,7 @@
 #include "runtime/engine.h"
 #include "runtime/metrics.h"
 #include "runtime/result_cache.h"
+#include "runtime/serving_engine.h"
 #include "runtime/shard_router.h"
 #include "runtime/thread_pool.h"
 #include "runtime/trace.h"
@@ -107,6 +108,15 @@ struct ShardedEngineOptions {
   /// slow-query log is armed (a slow query can only be logged if it was
   /// traced from the start).
   size_t trace_sample = 32;
+  /// Owned Z-order shard range [owned_begin, owned_end) for shard-worker
+  /// processes: the router still partitions the FULL user set `num_shards`
+  /// ways (so every worker agrees on the geometry and on global id
+  /// assignment), but only the owned shards get trees built — the others
+  /// stay empty and contribute an exact 0.0 to every sum, keeping a set of
+  /// workers with disjoint covering ranges bit-identical to one process.
+  /// (0, 0) means "own everything" (the single-process default).
+  uint32_t owned_begin = 0;
+  uint32_t owned_end = 0;
   /// TQ-tree construction parameters (the service model lives here).
   TQTreeOptions tree;
 };
@@ -140,12 +150,12 @@ using ShardedSnapshotPtr = std::shared_ptr<const ShardedSnapshot>;
 /// any thread may Submit / RunBatch / ApplyUpdates / snapshot() concurrently.
 /// Writers are serialized among themselves; readers never block. Speaks the
 /// same QueryRequest/QueryResponse/UpdateBatch protocol as Engine.
-class ShardedEngine {
+class ShardedEngine : public ServingEngine {
  public:
   ShardedEngine(TrajectorySet users, TrajectorySet facilities,
                 ShardedEngineOptions options);
   /// Drains in-flight scatter tasks, then joins the worker pool.
-  ~ShardedEngine();
+  ~ShardedEngine() override;
 
   ShardedEngine(const ShardedEngine&) = delete;
   ShardedEngine& operator=(const ShardedEngine&) = delete;
@@ -155,14 +165,22 @@ class ShardedEngine {
   /// Mutable registry access for front-ends layered on the engine (the net
   /// server folds its connection/byte counters in here so one JSON snapshot
   /// covers the whole serving stack).
-  MetricsRegistry* mutable_metrics() { return &metrics_; }
+  MetricsRegistry* mutable_metrics() override { return &metrics_; }
   /// Recent-trace ring + slow-query log for this engine's queries. The net
   /// server reads Recent() for the stats frame; `serve` wires the slow-log
   /// sink and threshold through the mutable accessor.
-  const Tracer& tracer() const { return tracer_; }
-  Tracer* mutable_tracer() { return &tracer_; }
+  const Tracer& tracer() const override { return tracer_; }
+  Tracer* mutable_tracer() override { return &tracer_; }
   const ShardRouter& router() const { return router_; }
   size_t num_shards() const { return router_.num_shards(); }
+  /// Whether shard `s` is in this engine's owned range.
+  bool Owns(size_t s) const { return s >= owned_begin_ && s < owned_end_; }
+
+  // ServingEngine introspection (see serving_engine.h).
+  double psi() const override { return options_.tree.model.psi; }
+  uint64_t snapshot_version() const override { return snapshot()->version; }
+  std::vector<uint64_t> shard_generations() const override;
+  EngineInfo info() const override;
 
   /// The currently published snapshot (cheap: one shared_ptr copy).
   ShardedSnapshotPtr snapshot() const;
@@ -185,7 +203,7 @@ class ShardedEngine {
   /// Completion callback for SubmitAsync. Runs exactly once: on the pool
   /// thread that finishes the gather, or inline on the submitting thread
   /// for cache hits, rejected requests, and degenerate queries.
-  using ResponseCallback = std::function<void(QueryResponse)>;
+  using ResponseCallback = ServingEngine::ResponseCallback;
 
   /// Callback-style Submit — the dispatch hook event-driven front-ends
   /// (src/net/server.h) use to avoid parking a thread per in-flight query.
@@ -204,7 +222,15 @@ class ShardedEngine {
   /// frame's whole batch and charges decode + dispatch time to the query,
   /// where it belongs. 0 means "read the clock here".
   void SubmitAsync(QueryRequest request, TraceContextPtr trace,
-                   ResponseCallback done, uint64_t start_ns = 0);
+                   ResponseCallback done, uint64_t start_ns = 0) override;
+
+  /// Round-1 bound sweep over the owned shards, packaged for a remote
+  /// coordinator (serves kBound frames): per-facility Σ UB_s(f) over the
+  /// owned shards plus the facilities the sweep settled exactly. Runs the
+  /// SAME per-shard cursor machinery as a local pruned top-k query round 1
+  /// — the sweep is advisory there and is advisory here; the coordinator's
+  /// threshold proof is what makes pruning sound.
+  void TopKBoundSweepAsync(size_t k, BoundSweepCallback done) override;
 
   /// Submits every request, then blocks for all answers (in request order).
   std::vector<QueryResponse> RunBatch(const std::vector<QueryRequest>& batch);
@@ -213,7 +239,7 @@ class ShardedEngine {
   /// (copy-on-write clone per shard). Returns the global ids assigned to
   /// `batch.inserts` (in order). Serialized internally; concurrent readers
   /// are never blocked.
-  std::vector<uint32_t> ApplyUpdates(const UpdateBatch& batch);
+  std::vector<uint32_t> ApplyUpdates(const UpdateBatch& batch) override;
 
  private:
   struct GatherState;
@@ -235,6 +261,9 @@ class ShardedEngine {
   void CoordinateTopK(const std::shared_ptr<GatherState>& state);
   /// Final merge of a pruned top-k query; fulfils the promise.
   void FinishTopK(GatherState* state);
+  /// Final merge of a TopKBoundSweepAsync: sums per-shard bounds and
+  /// collects exactly-settled facilities instead of ranking.
+  void FinishBoundSweep(GatherState* state);
   /// The ranking-and-memoisation tail both top-k paths share: sorts
   /// `complete` (exact per-facility totals) by (value desc, id asc),
   /// truncates to k, and memoises under the snapshot's generation vector.
@@ -249,6 +278,9 @@ class ShardedEngine {
   void Publish(ShardedSnapshotPtr snap, uint64_t shards_republished);
 
   ShardedEngineOptions options_;
+  /// Resolved owned range ((0,0) in options = own all shards).
+  uint32_t owned_begin_ = 0;
+  uint32_t owned_end_ = 0;
   MetricsRegistry metrics_;
   Tracer tracer_;
   ResultCache cache_;
@@ -260,6 +292,13 @@ class ShardedEngine {
   std::mutex writer_mu_;  // serializes ApplyUpdates
   mutable std::mutex registry_mu_;  // guards users_ global-id registry
   std::vector<UserLocation> users_;  // global id -> (shard, local id)
+  /// Logical user count per shard — what the shard's TrajectorySet size
+  /// WOULD be if the shard were owned. Owned shards match their set's size
+  /// exactly; non-owned shards advance only this counter, so local-id
+  /// assignment (and therefore the global registry) is identical across
+  /// every worker and the single process. Written in the constructor and
+  /// under writer_mu_ only.
+  std::vector<uint32_t> shard_user_counts_;
 
   ThreadPool pool_;  // last member: joins before the rest is torn down
 };

@@ -1,0 +1,196 @@
+// Liveness bookkeeping for the shard workers behind a coordinator.
+//
+// The registry is a small explicit state machine per worker, in the spirit
+// of the cctools work_queue catalog: a worker is kUnregistered until its
+// kRegister round-trip succeeds, kAlive while heartbeats (or any successful
+// RPC) keep arriving, and kDead after an RPC failure or a heartbeat
+// timeout. Death is sticky until a NEW registration round-trip succeeds —
+// rejoin goes back through kRegister so the coordinator re-verifies the
+// partition geometry before trusting the worker's answers again.
+//
+//   kUnregistered --RecordRegistered--> kAlive
+//   kAlive --RecordFailure/CheckTimeouts--> kDead
+//   kDead --RecordRegistered--> kAlive          (rejoin)
+//
+// Time is injected (a NowNs-compatible callable) so the timeout transitions
+// are unit-testable without real sleeps. All methods are thread-safe; the
+// registry holds no sockets — RPC success/failure is reported into it by
+// the owner (RemoteShardSet), which also owns the per-worker RTT histograms.
+#ifndef TQCOVER_RUNTIME_WORKER_REGISTRY_H_
+#define TQCOVER_RUNTIME_WORKER_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "runtime/histogram.h"
+
+namespace tq::runtime {
+
+class WorkerRegistry {
+ public:
+  /// Numeric values are wire-visible (kStatus frames carry them as u8).
+  enum class State : uint8_t {
+    kUnregistered = 0,
+    kAlive = 1,
+    kDead = 2,
+  };
+
+  using Clock = std::function<uint64_t()>;  // monotone nanoseconds
+
+  /// `heartbeat_timeout_ms`: silence longer than this moves an alive worker
+  /// to kDead on the next CheckTimeouts() pass. The default clock is the
+  /// histogram layer's steady NowNs; tests inject a hand-cranked one.
+  explicit WorkerRegistry(uint64_t heartbeat_timeout_ms,
+                          Clock clock = &NowNs)
+      : timeout_ns_(heartbeat_timeout_ms * 1'000'000ull),
+        clock_(std::move(clock)) {}
+
+  /// Adds a worker slot (coordinator start-up); returns its index.
+  size_t AddWorker(std::string address) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows_.push_back(Row{std::move(address)});
+    return rows_.size() - 1;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return rows_.size();
+  }
+
+  /// A kRegister round-trip succeeded: kUnregistered/kDead -> kAlive, with
+  /// the (re-verified) owned shard range.
+  void RecordRegistered(size_t w, uint32_t owned_begin, uint32_t owned_end) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Row& row = RowAt(w);
+    row.state = State::kAlive;
+    row.owned_begin = owned_begin;
+    row.owned_end = owned_end;
+    row.last_contact_ns = clock_();
+  }
+
+  /// A heartbeat (or any successful RPC) round-tripped in `rtt_ns`.
+  /// Contact alone never resurrects a dead worker — rejoin must go through
+  /// RecordRegistered so the geometry is re-checked first.
+  void RecordHeartbeat(size_t w, uint64_t rtt_ns) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Row& row = RowAt(w);
+    row.heartbeats++;
+    row.last_rtt_ns = rtt_ns;
+    if (row.state == State::kAlive) row.last_contact_ns = clock_();
+  }
+
+  /// Any successful non-heartbeat RPC also proves liveness: refresh the
+  /// recency without inflating the heartbeat count.
+  void RecordContact(size_t w) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Row& row = RowAt(w);
+    if (row.state == State::kAlive) row.last_contact_ns = clock_();
+  }
+
+  /// An RPC against worker `w` failed. Returns true when this call was the
+  /// alive -> dead transition (the caller bumps worker_failures exactly
+  /// once per death, not once per failed RPC on an already-dead worker).
+  bool RecordFailure(size_t w) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Row& row = RowAt(w);
+    row.failures++;
+    const bool died = row.state == State::kAlive;
+    if (died) row.state = State::kDead;
+    return died;
+  }
+
+  /// Sweeps alive workers whose last contact is older than the heartbeat
+  /// timeout; returns the indices that died on THIS pass.
+  std::vector<size_t> CheckTimeouts() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = clock_();
+    std::vector<size_t> died;
+    for (size_t w = 0; w < rows_.size(); ++w) {
+      Row& row = rows_[w];
+      if (row.state != State::kAlive) continue;
+      if (now - row.last_contact_ns > timeout_ns_) {
+        row.state = State::kDead;
+        row.failures++;
+        died.push_back(w);
+      }
+    }
+    return died;
+  }
+
+  State state(size_t w) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return RowAt(w).state;
+  }
+  bool alive(size_t w) const { return state(w) == State::kAlive; }
+  std::string address(size_t w) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return RowAt(w).address;
+  }
+
+  /// One worker's liveness row, snapshot form.
+  struct RowView {
+    std::string address;
+    State state = State::kUnregistered;
+    uint32_t owned_begin = 0;
+    uint32_t owned_end = 0;
+    uint64_t heartbeats = 0;
+    uint64_t failures = 0;
+    uint64_t age_ms = 0;  // since last successful contact (0 if none yet)
+  };
+
+  std::vector<RowView> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = clock_();
+    std::vector<RowView> out;
+    out.reserve(rows_.size());
+    for (const Row& row : rows_) {
+      RowView v;
+      v.address = row.address;
+      v.state = row.state;
+      v.owned_begin = row.owned_begin;
+      v.owned_end = row.owned_end;
+      v.heartbeats = row.heartbeats;
+      v.failures = row.failures;
+      v.age_ms = row.last_contact_ns == 0
+                     ? 0
+                     : (now - row.last_contact_ns) / 1'000'000ull;
+      out.push_back(std::move(v));
+    }
+    return out;
+  }
+
+ private:
+  struct Row {
+    std::string address;
+    State state = State::kUnregistered;
+    uint32_t owned_begin = 0;
+    uint32_t owned_end = 0;
+    uint64_t heartbeats = 0;
+    uint64_t failures = 0;
+    uint64_t last_contact_ns = 0;
+    uint64_t last_rtt_ns = 0;
+  };
+
+  Row& RowAt(size_t w) {
+    TQ_CHECK(w < rows_.size());
+    return rows_[w];
+  }
+  const Row& RowAt(size_t w) const {
+    TQ_CHECK(w < rows_.size());
+    return rows_[w];
+  }
+
+  const uint64_t timeout_ns_;
+  const Clock clock_;
+  mutable std::mutex mu_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace tq::runtime
+
+#endif  // TQCOVER_RUNTIME_WORKER_REGISTRY_H_

@@ -1,0 +1,361 @@
+// Tests for the multi-process serving layer: the RemoteShardSet coordinator
+// over loopback shard-worker processes (each a ShardedEngine owning a slice
+// of the partition behind a NetServer) answers sums and top-k BIT-IDENTICALLY
+// to a single-process ShardedEngine over the full partition, for shards
+// {2, 4} × workers {1, 2} on the NYF preset; updates fan out and keep the
+// identity; a killed worker degrades answers to StatusCode::kUnavailable
+// without hanging; and the new wire frame types (kRegister, kHeartbeat,
+// kBound, kStatus) round-trip losslessly.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/presets.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "runtime/remote_shard_set.h"
+#include "runtime/sharded_engine.h"
+#include "test_util.h"
+
+namespace tq {
+namespace {
+
+using net::MessageType;
+using net::NetClient;
+using net::NetRequest;
+using net::NetResponse;
+using net::NetServer;
+using net::NetServerOptions;
+using runtime::QueryRequest;
+using runtime::QueryResponse;
+using runtime::RemoteShardSet;
+using runtime::RemoteShardSetOptions;
+using runtime::ServingEngine;
+using runtime::ShardedEngine;
+using runtime::ShardedEngineOptions;
+using runtime::UpdateBatch;
+
+ShardedEngineOptions EngineOptions(size_t shards) {
+  ShardedEngineOptions so;
+  so.num_shards = shards;
+  so.num_threads = 2;
+  so.cache_capacity = 1024;
+  so.tree.beta = 16;
+  // Integer-valued model: cross-process sums must match bit for bit.
+  so.tree.model = ServiceModel::PointCount(200.0, Normalization::kNone);
+  return so;
+}
+
+/// One in-process "shard-worker process": a slice-owning engine behind the
+/// TCP front-end on an ephemeral loopback port.
+struct Worker {
+  std::unique_ptr<ShardedEngine> engine;
+  std::unique_ptr<NetServer> server;
+  uint16_t port() const { return server->port(); }
+};
+
+Worker MakeWorker(const TrajectorySet& users, const TrajectorySet& fac,
+                  size_t shards, uint32_t lo, uint32_t hi) {
+  ShardedEngineOptions so = EngineOptions(shards);
+  so.owned_begin = lo;
+  so.owned_end = hi;
+  Worker w;
+  w.engine = std::make_unique<ShardedEngine>(users, fac, so);
+  w.server = std::make_unique<NetServer>(w.engine.get(), NetServerOptions{});
+  EXPECT_TRUE(w.server->Start().ok());
+  return w;
+}
+
+std::vector<Worker> MakeWorkers(const TrajectorySet& users,
+                                const TrajectorySet& fac, size_t shards,
+                                size_t num_workers) {
+  std::vector<Worker> workers;
+  const uint32_t per =
+      static_cast<uint32_t>(shards) / static_cast<uint32_t>(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    const auto lo = static_cast<uint32_t>(i) * per;
+    const uint32_t hi = i + 1 == num_workers
+                            ? static_cast<uint32_t>(shards)
+                            : lo + per;
+    workers.push_back(MakeWorker(users, fac, shards, lo, hi));
+  }
+  return workers;
+}
+
+RemoteShardSetOptions CoordOptions(const std::vector<Worker>& workers) {
+  RemoteShardSetOptions ro;
+  for (const Worker& w : workers) {
+    ro.workers.emplace_back("127.0.0.1", w.port());
+  }
+  ro.num_threads = 2;
+  return ro;
+}
+
+/// Synchronous query through any ServingEngine.
+QueryResponse RunQuery(ServingEngine& engine, QueryRequest request) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  engine.SubmitAsync(
+      std::move(request), nullptr,
+      [&promise](QueryResponse r) { promise.set_value(std::move(r)); }, 0);
+  return future.get();
+}
+
+void ExpectIdenticalAnswers(ServingEngine& reference, ServingEngine& coord,
+                            size_t num_facilities) {
+  for (FacilityId f = 0; f < num_facilities; ++f) {
+    const QueryResponse want = RunQuery(reference, QueryRequest::ServiceValue(f));
+    const QueryResponse got = RunQuery(coord, QueryRequest::ServiceValue(f));
+    ASSERT_TRUE(want.status.ok());
+    ASSERT_TRUE(got.status.ok());
+    EXPECT_EQ(want.value, got.value) << "facility " << f;
+  }
+  for (const size_t k : {size_t{1}, size_t{3}, size_t{8}, num_facilities}) {
+    const QueryResponse want = RunQuery(reference, QueryRequest::TopK(k));
+    const QueryResponse got = RunQuery(coord, QueryRequest::TopK(k));
+    ASSERT_TRUE(want.status.ok());
+    ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+    ASSERT_EQ(want.ranked.size(), got.ranked.size()) << "k=" << k;
+    for (size_t i = 0; i < want.ranked.size(); ++i) {
+      EXPECT_EQ(want.ranked[i].id, got.ranked[i].id) << "k=" << k;
+      EXPECT_EQ(want.ranked[i].value, got.ranked[i].value) << "k=" << k;
+    }
+  }
+}
+
+// ------------------------------------------------- bit-identity matrix
+
+TEST(Distributed, CoordinatorMatchesSingleProcessMatrixNyf) {
+  const TrajectorySet users = presets::NyfCheckins(1200);
+  const TrajectorySet fac = presets::NyBusRoutes(24, 12);
+  for (const size_t shards : {size_t{2}, size_t{4}}) {
+    ShardedEngine reference(users, fac, EngineOptions(shards));
+    for (const size_t num_workers : {size_t{1}, size_t{2}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " workers=" + std::to_string(num_workers));
+      std::vector<Worker> workers =
+          MakeWorkers(users, fac, shards, num_workers);
+      RemoteShardSet coord(CoordOptions(workers));
+      ASSERT_TRUE(coord.Connect().ok());
+      const runtime::EngineInfo info = coord.info();
+      EXPECT_EQ(info.num_shards, shards);
+      EXPECT_EQ(info.num_facilities, fac.size());
+      EXPECT_EQ(info.users_total, users.size());
+      ExpectIdenticalAnswers(reference, coord, fac.size());
+    }
+  }
+}
+
+TEST(Distributed, PrunedAndExhaustiveProtocolsAgree) {
+  const TrajectorySet users = presets::NyfCheckins(800);
+  const TrajectorySet fac = presets::NyBusRoutes(16, 10);
+  ShardedEngine reference(users, fac, EngineOptions(4));
+  std::vector<Worker> workers = MakeWorkers(users, fac, 4, 2);
+  for (const bool prune : {true, false}) {
+    RemoteShardSetOptions ro = CoordOptions(workers);
+    ro.prune_topk = prune;
+    RemoteShardSet coord(ro);
+    ASSERT_TRUE(coord.Connect().ok());
+    for (const size_t k : {size_t{1}, size_t{5}, fac.size()}) {
+      const QueryResponse want = RunQuery(reference, QueryRequest::TopK(k));
+      const QueryResponse got = RunQuery(coord, QueryRequest::TopK(k));
+      ASSERT_EQ(want.ranked.size(), got.ranked.size());
+      for (size_t i = 0; i < want.ranked.size(); ++i) {
+        EXPECT_EQ(want.ranked[i].id, got.ranked[i].id);
+        EXPECT_EQ(want.ranked[i].value, got.ranked[i].value);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ update fan-out
+
+TEST(Distributed, UpdateFanOutKeepsBitIdentity) {
+  const TrajectorySet users = presets::NyfCheckins(600);
+  const TrajectorySet fac = presets::NyBusRoutes(12, 10);
+  ShardedEngine reference(users, fac, EngineOptions(4));
+  std::vector<Worker> workers = MakeWorkers(users, fac, 4, 2);
+  RemoteShardSet coord(CoordOptions(workers));
+  ASSERT_TRUE(coord.Connect().ok());
+
+  UpdateBatch batch;
+  for (uint32_t id = 0; id < 5; ++id) {
+    const auto pts = users.points(id);
+    batch.inserts.emplace_back(pts.begin(), pts.end());
+    batch.removes.push_back(id);
+  }
+  const std::vector<uint32_t> want_ids = reference.ApplyUpdates(batch);
+  const std::vector<uint32_t> got_ids = coord.ApplyUpdates(batch);
+  EXPECT_EQ(want_ids, got_ids);
+  EXPECT_EQ(coord.info().users_total, users.size() + batch.inserts.size());
+  EXPECT_GE(coord.snapshot_version(), 2u);
+  ExpectIdenticalAnswers(reference, coord, fac.size());
+}
+
+// ------------------------------------------------------- failure paths
+
+TEST(Distributed, WorkerDeathDegradesWithoutHanging) {
+  const TrajectorySet users = presets::NyfCheckins(600);
+  const TrajectorySet fac = presets::NyBusRoutes(12, 10);
+  std::vector<Worker> workers = MakeWorkers(users, fac, 4, 2);
+  RemoteShardSet coord(CoordOptions(workers));
+  ASSERT_TRUE(coord.Connect().ok());
+  ASSERT_TRUE(RunQuery(coord, QueryRequest::ServiceValue(0)).status.ok());
+
+  workers[1].server->Stop();  // the "SIGKILL": every socket drops
+
+  // Queries keep answering from the survivor, marked partial. The surviving
+  // worker owns shards [0, 2) of 4, so the partial value is exactly its
+  // local engine's answer.
+  const QueryResponse sum = RunQuery(coord, QueryRequest::ServiceValue(3));
+  EXPECT_EQ(sum.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(sum.value,
+            RunQuery(*workers[0].engine, QueryRequest::ServiceValue(3)).value);
+
+  const QueryResponse topk = RunQuery(coord, QueryRequest::TopK(5));
+  EXPECT_EQ(topk.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(topk.ranked.size(), 5u);
+
+  const auto m = coord.mutable_metrics()->Read();
+  EXPECT_EQ(m.worker_failures, 1u);
+  EXPECT_GE(m.coord_partial, 2u);
+
+  const auto status = coord.Workers();
+  ASSERT_EQ(status.size(), 2u);
+  EXPECT_EQ(status[0].state, 1u);  // alive
+  EXPECT_EQ(status[1].state, 2u);  // dead
+}
+
+TEST(Distributed, ConnectRejectsBadGeometry) {
+  const TrajectorySet users = presets::NyfCheckins(300);
+  const TrajectorySet fac = presets::NyBusRoutes(8, 8);
+  // Workers from DIFFERENT partitions (4-way vs 2-way) must not compose.
+  Worker a = MakeWorker(users, fac, 4, 0, 2);
+  Worker b = MakeWorker(users, fac, 2, 1, 2);
+  {
+    RemoteShardSetOptions ro;
+    ro.workers.emplace_back("127.0.0.1", a.port());
+    ro.workers.emplace_back("127.0.0.1", b.port());
+    RemoteShardSet coord(ro);
+    EXPECT_FALSE(coord.Connect().ok());
+  }
+  // A gap in the tiling ([0,2) + [3,4)) must be refused too.
+  Worker c = MakeWorker(users, fac, 4, 3, 4);
+  {
+    RemoteShardSetOptions ro;
+    ro.workers.emplace_back("127.0.0.1", a.port());
+    ro.workers.emplace_back("127.0.0.1", c.port());
+    RemoteShardSet coord(ro);
+    EXPECT_FALSE(coord.Connect().ok());
+  }
+}
+
+// -------------------------------------------------- wire frame round-trips
+
+TEST(DistributedProtocol, NewRequestTypesRoundTrip) {
+  for (const NetRequest& original :
+       {NetRequest::Register(), NetRequest::Heartbeat(77),
+        NetRequest::Bound(9), NetRequest::ClusterStatus()}) {
+    std::string wire;
+    EncodeRequest(original, &wire);
+    NetRequest decoded;
+    ASSERT_TRUE(
+        DecodeRequest(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+    EXPECT_EQ(decoded.type, original.type);
+    EXPECT_EQ(decoded.bound_k, original.bound_k);
+    EXPECT_EQ(decoded.heartbeat_seq, original.heartbeat_seq);
+  }
+}
+
+TEST(DistributedProtocol, StatusAndBoundResponsesRoundTrip) {
+  NetResponse status;
+  status.type = MessageType::kStatus;
+  status.snapshot_version = 7;
+  status.worker_info = {4, 0, 4, 200.0, 32, 2000};
+  net::WireWorkerStatus row;
+  row.address = "127.0.0.1:7102";
+  row.state = 1;
+  row.owned_begin = 0;
+  row.owned_end = 2;
+  row.heartbeats = 12;
+  row.failures = 1;
+  row.age_ms = 450;
+  row.rtt_count = 99;
+  row.rtt_p50_ns = 120'000;
+  row.rtt_p99_ns = 4'000'000;
+  status.workers.push_back(row);
+  std::string wire;
+  EncodeResponse(status, &wire);
+  NetResponse decoded;
+  ASSERT_TRUE(
+      DecodeResponse(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+  EXPECT_EQ(decoded.type, MessageType::kStatus);
+  EXPECT_EQ(decoded.worker_info.num_shards, 4u);
+  EXPECT_EQ(decoded.worker_info.users_total, 2000u);
+  ASSERT_EQ(decoded.workers.size(), 1u);
+  EXPECT_EQ(decoded.workers[0].address, row.address);
+  EXPECT_EQ(decoded.workers[0].state, row.state);
+  EXPECT_EQ(decoded.workers[0].heartbeats, row.heartbeats);
+  EXPECT_EQ(decoded.workers[0].rtt_p99_ns, row.rtt_p99_ns);
+
+  NetResponse bound;
+  bound.type = MessageType::kBound;
+  bound.snapshot_version = 3;
+  bound.bounds = {1.5, 0.0, 2.25};
+  bound.bound_exacts = {{1, 0.0}, {2, 2.0}};
+  wire.clear();
+  EncodeResponse(bound, &wire);
+  ASSERT_TRUE(
+      DecodeResponse(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+  EXPECT_EQ(decoded.type, MessageType::kBound);
+  EXPECT_EQ(decoded.bounds, bound.bounds);
+  EXPECT_EQ(decoded.bound_exacts, bound.bound_exacts);
+}
+
+// A live worker answers kRegister / kHeartbeat / kBound / kStatus frames
+// consistently with its engine.
+TEST(DistributedProtocol, WorkerServesIdentityFrames) {
+  const TrajectorySet users = presets::NyfCheckins(400);
+  const TrajectorySet fac = presets::NyBusRoutes(8, 8);
+  Worker w = MakeWorker(users, fac, 4, 1, 3);
+  NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", w.port()).ok());
+
+  NetResponse reg;
+  ASSERT_TRUE(client.Register(&reg).ok());
+  ASSERT_TRUE(reg.status.ok());
+  EXPECT_EQ(reg.worker_info.num_shards, 4u);
+  EXPECT_EQ(reg.worker_info.owned_begin, 1u);
+  EXPECT_EQ(reg.worker_info.owned_end, 3u);
+  EXPECT_EQ(reg.worker_info.num_facilities, fac.size());
+  EXPECT_EQ(reg.worker_info.users_total, users.size());
+
+  NetResponse hb;
+  ASSERT_TRUE(client.Heartbeat(4242, &hb).ok());
+  ASSERT_TRUE(hb.status.ok());
+  EXPECT_EQ(hb.heartbeat_seq, 4242u);
+
+  NetResponse bound;
+  ASSERT_TRUE(client.Bound(3, &bound).ok());
+  ASSERT_TRUE(bound.status.ok());
+  ASSERT_EQ(bound.bounds.size(), fac.size());
+  // Every settled exact must respect its own bound.
+  for (const auto& [f, exact] : bound.bound_exacts) {
+    ASSERT_LT(f, fac.size());
+    EXPECT_LE(exact, bound.bounds[f]);
+  }
+
+  NetResponse status;
+  ASSERT_TRUE(client.ClusterStatus(&status).ok());
+  ASSERT_TRUE(status.status.ok());
+  EXPECT_EQ(status.worker_info.owned_begin, 1u);
+  EXPECT_TRUE(status.workers.empty());  // workers have no table
+}
+
+}  // namespace
+}  // namespace tq

@@ -1,0 +1,131 @@
+// Tests for the coordinator's worker-liveness state machine
+// (src/runtime/worker_registry.h): join, heartbeat refresh, timeout -> dead,
+// failure -> dead exactly once, and rejoin through re-registration. Time is
+// a hand-cranked injected clock, so no test sleeps.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "runtime/worker_registry.h"
+
+namespace tq::runtime {
+namespace {
+
+constexpr uint64_t kMs = 1'000'000ull;  // ns per ms
+
+struct Cranked {
+  uint64_t now_ns = 0;
+  WorkerRegistry::Clock clock() {
+    return [this] { return now_ns; };
+  }
+};
+
+TEST(WorkerRegistry, JoinLifecycle) {
+  Cranked t;
+  WorkerRegistry reg(/*heartbeat_timeout_ms=*/100, t.clock());
+  const size_t w = reg.AddWorker("127.0.0.1:7102");
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.state(w), WorkerRegistry::State::kUnregistered);
+  EXPECT_FALSE(reg.alive(w));
+  EXPECT_EQ(reg.address(w), "127.0.0.1:7102");
+
+  reg.RecordRegistered(w, 2, 4);
+  EXPECT_EQ(reg.state(w), WorkerRegistry::State::kAlive);
+  EXPECT_TRUE(reg.alive(w));
+
+  const auto rows = reg.Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].owned_begin, 2u);
+  EXPECT_EQ(rows[0].owned_end, 4u);
+  EXPECT_EQ(rows[0].heartbeats, 0u);
+  EXPECT_EQ(rows[0].failures, 0u);
+}
+
+TEST(WorkerRegistry, HeartbeatRefreshesRecencyAndTimeoutKills) {
+  Cranked t;
+  WorkerRegistry reg(100, t.clock());
+  const size_t w = reg.AddWorker("a");
+  reg.RecordRegistered(w, 0, 1);
+
+  t.now_ns = 50 * kMs;
+  reg.RecordHeartbeat(w, /*rtt_ns=*/123);
+  EXPECT_EQ(reg.Snapshot()[0].heartbeats, 1u);
+
+  // 99 ms of silence since the heartbeat: still inside the timeout.
+  t.now_ns = 149 * kMs;
+  EXPECT_TRUE(reg.CheckTimeouts().empty());
+  EXPECT_TRUE(reg.alive(w));
+
+  // 101 ms of silence: dead, reported exactly once.
+  t.now_ns = 151 * kMs;
+  const auto died = reg.CheckTimeouts();
+  ASSERT_EQ(died.size(), 1u);
+  EXPECT_EQ(died[0], w);
+  EXPECT_EQ(reg.state(w), WorkerRegistry::State::kDead);
+  EXPECT_EQ(reg.Snapshot()[0].failures, 1u);
+  // Death is sticky: a second sweep reports nothing new.
+  t.now_ns = 500 * kMs;
+  EXPECT_TRUE(reg.CheckTimeouts().empty());
+  EXPECT_EQ(reg.Snapshot()[0].failures, 1u);
+}
+
+TEST(WorkerRegistry, ContactRefreshKeepsWorkerAlive) {
+  Cranked t;
+  WorkerRegistry reg(100, t.clock());
+  const size_t w = reg.AddWorker("a");
+  reg.RecordRegistered(w, 0, 1);
+  // Any successful RPC refreshes recency, so a worker serving steady query
+  // traffic never times out even without heartbeats.
+  for (uint64_t ms = 90; ms <= 900; ms += 90) {
+    t.now_ns = ms * kMs;
+    reg.RecordContact(w);
+    EXPECT_TRUE(reg.CheckTimeouts().empty());
+  }
+  EXPECT_TRUE(reg.alive(w));
+  EXPECT_EQ(reg.Snapshot()[0].heartbeats, 0u);  // contact != heartbeat
+}
+
+TEST(WorkerRegistry, FailureTransitionsOnce) {
+  Cranked t;
+  WorkerRegistry reg(100, t.clock());
+  const size_t w = reg.AddWorker("a");
+  reg.RecordRegistered(w, 0, 1);
+  EXPECT_TRUE(reg.RecordFailure(w));   // alive -> dead: the transition
+  EXPECT_FALSE(reg.RecordFailure(w));  // already dead: counted, no edge
+  EXPECT_EQ(reg.state(w), WorkerRegistry::State::kDead);
+  EXPECT_EQ(reg.Snapshot()[0].failures, 2u);
+}
+
+TEST(WorkerRegistry, ContactNeverResurrectsADeadWorker) {
+  Cranked t;
+  WorkerRegistry reg(100, t.clock());
+  const size_t w = reg.AddWorker("a");
+  reg.RecordRegistered(w, 0, 1);
+  ASSERT_TRUE(reg.RecordFailure(w));
+  // A stale in-flight RPC completing after the death must not revive the
+  // worker — rejoin requires geometry re-verification via RecordRegistered.
+  reg.RecordContact(w);
+  reg.RecordHeartbeat(w, 42);
+  EXPECT_EQ(reg.state(w), WorkerRegistry::State::kDead);
+}
+
+TEST(WorkerRegistry, RejoinThroughReRegistration) {
+  Cranked t;
+  WorkerRegistry reg(100, t.clock());
+  const size_t w = reg.AddWorker("a");
+  reg.RecordRegistered(w, 3, 6);
+  ASSERT_TRUE(reg.RecordFailure(w));
+
+  t.now_ns = 400 * kMs;
+  reg.RecordRegistered(w, 3, 6);
+  EXPECT_EQ(reg.state(w), WorkerRegistry::State::kAlive);
+  // Recency restarts at the rejoin instant; history is preserved.
+  t.now_ns = 450 * kMs;
+  EXPECT_TRUE(reg.CheckTimeouts().empty());
+  const auto row = reg.Snapshot()[0];
+  EXPECT_EQ(row.failures, 1u);
+  EXPECT_EQ(row.age_ms, 50u);
+}
+
+}  // namespace
+}  // namespace tq::runtime

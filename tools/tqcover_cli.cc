@@ -36,6 +36,7 @@
 #include "query/baseline.h"
 #include "query/topk.h"
 #include "runtime/engine.h"
+#include "runtime/remote_shard_set.h"
 #include "runtime/sharded_engine.h"
 #include "tqtree/serialize.h"
 #include "traj/io.h"
@@ -76,6 +77,10 @@ int Usage() {
       "           metrics, per-op latency histograms, and recent traces\n"
       "  query    HOST:PORT [--sums N] [--topks M] [--k 8] [--batch 16]\n"
       "           [--facility-range 8]   # drive sync traffic at a server\n"
+      "           [--dump FILE]  # write every answer as hex-float lines\n"
+      "                          # (byte-diffable across processes)\n"
+      "  status   HOST:PORT     # a serving process's identity, and (on a\n"
+      "           coordinator) the per-worker liveness/RTT table\n"
       "  topk     --users FILE --facilities FILE [--k 8] [--psi 200]\n"
       "           [--scenario endpoints|points|length] [--method tqz|tqb|bl|blr]\n"
       "           [--mode whole|segmented] [--beta 64]\n"
@@ -94,6 +99,14 @@ int Usage() {
       "                         # protocol (docs/PROTOCOL.md) instead of a\n"
       "                         # local query loop; 0 = ephemeral port;\n"
       "                         # runs S seconds (default: until SIGINT)\n"
+      "           [--worker LO:HI]  # with --listen and --shards N: own only\n"
+      "                         # the Z-order shard range [LO, HI) of the\n"
+      "                         # N-way partition (a shard-worker process)\n"
+      "  serve    --coordinator --workers HOST:PORT,... --listen PORT\n"
+      "           [--rpc-timeout-ms 2000] [--heartbeat-ms 1000]\n"
+      "           [--heartbeat-timeout-ms 5000] [--prune 1]\n"
+      "                         # no local data: serve by scatter/gather\n"
+      "                         # over shard-worker processes\n"
       "           [--slow-query-ms N]  # log '# slow:' JSON trace lines for\n"
       "                         # queries/frames taking >= N ms (0 = all)\n"
       "           [--stats-interval S] # with --listen: print a '# json:'\n"
@@ -232,9 +245,58 @@ int CmdStatsNet(const Args& args) {
   return 0;
 }
 
+// status HOST:PORT — one kStatus frame: the process's identity (partition
+// geometry) and, when it is a coordinator, the per-worker liveness table.
+// The '# json:' line is the machine-parsable form (CI reads it).
+int CmdStatusNet(const Args& args) {
+  if (args.target.empty()) return Usage();
+  tq::net::NetClient client;
+  const int rc = ConnectTo(args.target, &client);
+  if (rc != 0) return rc;
+  tq::net::NetResponse resp;
+  const Status st = client.ClusterStatus(&resp);
+  if (!st.ok() || !resp.status.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (st.ok() ? resp.status : st).ToString().c_str());
+    return 1;
+  }
+  const tq::net::WireWorkerInfo& self = resp.worker_info;
+  std::printf("self: %u shards, owned [%u, %u), psi %.1f, %u facilities, "
+              "%llu users, snapshot v%llu\n",
+              self.num_shards, self.owned_begin, self.owned_end, self.psi,
+              self.num_facilities,
+              static_cast<unsigned long long>(self.users_total),
+              static_cast<unsigned long long>(resp.snapshot_version));
+  if (!resp.workers.empty()) {
+    std::printf("%-22s %-12s %-12s %6s %5s %8s %10s %10s\n", "worker",
+                "state", "owned", "beats", "fails", "age_ms", "p50_ms",
+                "p99_ms");
+    for (const tq::net::WireWorkerStatus& w : resp.workers) {
+      const char* state = w.state == 1   ? "alive"
+                          : w.state == 2 ? "dead"
+                                         : "unregistered";
+      char owned[32];
+      std::snprintf(owned, sizeof(owned), "[%u,%u)", w.owned_begin,
+                    w.owned_end);
+      std::printf("%-22s %-12s %-12s %6llu %5llu %8llu %10.3f %10.3f\n",
+                  w.address.c_str(), state, owned,
+                  static_cast<unsigned long long>(w.heartbeats),
+                  static_cast<unsigned long long>(w.failures),
+                  static_cast<unsigned long long>(w.age_ms),
+                  static_cast<double>(w.rtt_p50_ns) / 1e6,
+                  static_cast<double>(w.rtt_p99_ns) / 1e6);
+    }
+  }
+  std::printf("# json: %s\n",
+              tq::net::WireStatusToJson(self, resp.workers).c_str());
+  return 0;
+}
+
 // query HOST:PORT — a sync traffic driver (CI uses it to exercise a live
 // server before scraping stats). Sends sum and top-k frames of --batch
-// queries each over one connection.
+// queries each over one connection. --dump FILE additionally writes every
+// answer as %a hex-float lines — bit-exact, so CI can byte-diff a
+// coordinator's answers against a single-process server's.
 int CmdQuery(const Args& args) {
   if (args.target.empty()) return Usage();
   tq::net::NetClient client;
@@ -246,6 +308,16 @@ int CmdQuery(const Args& args) {
   const auto k = static_cast<uint32_t>(args.GetSize("k", 8));
   const size_t facility_range =
       std::max<size_t>(1, args.GetSize("facility-range", 8));
+  const std::string dump_path = args.Get("dump");
+  FILE* dump = nullptr;
+  if (!dump_path.empty()) {
+    dump = std::fopen(dump_path.c_str(), "w");
+    if (dump == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   dump_path.c_str());
+      return 1;
+    }
+  }
   double checksum = 0.0;
   size_t sum_errors = 0;
   tq::Timer timer;
@@ -260,11 +332,16 @@ int CmdQuery(const Args& args) {
     if (!st.ok() || !resp.status.ok()) {
       std::fprintf(stderr, "%s\n",
                    (st.ok() ? resp.status : st).ToString().c_str());
+      if (dump != nullptr) std::fclose(dump);
       return 1;
     }
-    for (const tq::net::SumResult& r : resp.sums) {
+    for (size_t i = 0; i < resp.sums.size(); ++i) {
+      const tq::net::SumResult& r = resp.sums[i];
       if (r.code == tq::StatusCode::kOk) checksum += r.value;
       else ++sum_errors;
+      if (dump != nullptr) {
+        std::fprintf(dump, "sum %zu %u %a\n", done + i, ids[i], r.value);
+      }
     }
     done += n;
   }
@@ -276,10 +353,21 @@ int CmdQuery(const Args& args) {
     if (!st.ok() || !resp.status.ok()) {
       std::fprintf(stderr, "%s\n",
                    (st.ok() ? resp.status : st).ToString().c_str());
+      if (dump != nullptr) std::fclose(dump);
       return 1;
+    }
+    if (dump != nullptr) {
+      for (size_t i = 0; i < resp.topks.size(); ++i) {
+        std::fprintf(dump, "topk %zu %u", done + i, k);
+        for (const tq::RankedFacility& rf : resp.topks[i].ranked) {
+          std::fprintf(dump, " %u:%a", rf.id, rf.value);
+        }
+        std::fprintf(dump, "\n");
+      }
     }
     done += n;
   }
+  if (dump != nullptr) std::fclose(dump);
   std::printf("sent %zu sum + %zu top-%u queries in %.3f s "
               "(checksum %.3f, %zu per-query errors)\n",
               sums, topks, k, timer.ElapsedSeconds(), checksum, sum_errors);
@@ -412,7 +500,7 @@ void OnServeSignal(int) { g_serve_interrupted.store(true); }
 // --slow-query-ms N arms the engine tracer's slow-query log: every finished
 // trace at or over the threshold prints one '# slow:' structured JSON line
 // (N = 0 logs every trace). Shared by the listen and local serve loops.
-void ArmSlowQueryLog(tq::runtime::ShardedEngine& engine, const Args& args) {
+void ArmSlowQueryLog(tq::runtime::ServingEngine& engine, const Args& args) {
   if (args.kv.count("slow-query-ms") == 0) return;
   const size_t ms = args.GetSize("slow-query-ms", 0);
   tq::runtime::Tracer* tracer = engine.mutable_tracer();
@@ -423,9 +511,16 @@ void ArmSlowQueryLog(tq::runtime::ShardedEngine& engine, const Args& args) {
   });
 }
 
-int RunListenLoop(tq::runtime::ShardedEngine& engine, const Args& args) {
+int RunListenLoop(tq::runtime::ServingEngine& engine, const Args& args) {
   tq::net::NetServerOptions options;
-  options.port = static_cast<uint16_t>(args.GetSize("listen", 0));
+  const size_t port = args.GetSize("listen", 0);
+  if (port > 65535) {
+    // Catch this before the uint16_t cast silently truncates it into a
+    // bind on some unrelated port.
+    std::fprintf(stderr, "serve: --listen port %zu out of range\n", port);
+    return 1;
+  }
+  options.port = static_cast<uint16_t>(port);
   options.update_batch = std::max<size_t>(1, args.GetSize("update-batch", 1));
   ArmSlowQueryLog(engine, args);
   tq::net::NetServer server(&engine, options);
@@ -451,12 +546,13 @@ int RunListenLoop(tq::runtime::ShardedEngine& engine, const Args& args) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     if (stats_interval_s > 0 && timer.ElapsedSeconds() >= next_stats_s) {
       next_stats_s += static_cast<double>(stats_interval_s);
-      std::printf("# json: %s\n", engine.metrics().Read().ToJson().c_str());
+      std::printf("# json: %s\n",
+                  engine.mutable_metrics()->Read().ToJson().c_str());
       std::fflush(stdout);
     }
   }
   server.Stop();
-  const tq::runtime::MetricsView m = engine.metrics().Read();
+  const tq::runtime::MetricsView m = engine.mutable_metrics()->Read();
   std::printf("served %llu connections, %llu request frames "
               "(%llu bytes in, %llu bytes out)\n",
               static_cast<unsigned long long>(m.net_connections),
@@ -553,11 +649,61 @@ int RunServeLoop(EngineT& engine, tq::TrajectorySet mirror,
   return 0;
 }
 
+// serve --coordinator: no local data at all — dial the given shard-worker
+// processes, verify they tile one partition, and serve the same TCP
+// protocol by scatter/gather over them (runtime/remote_shard_set.h).
+int RunCoordinator(const Args& args) {
+  tq::runtime::RemoteShardSetOptions options;
+  const std::string list = args.Get("workers");
+  size_t pos = 0;
+  while (pos < list.size()) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string endpoint = list.substr(pos, comma - pos);
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(endpoint, &host, &port)) {
+      std::fprintf(stderr, "bad worker endpoint '%s'\n", endpoint.c_str());
+      return 2;
+    }
+    options.workers.emplace_back(std::move(host), port);
+    pos = comma + 1;
+  }
+  if (options.workers.empty()) {
+    std::fprintf(stderr, "serve --coordinator needs --workers "
+                         "HOST:PORT[,HOST:PORT...]\n");
+    return 2;
+  }
+  if (args.kv.count("listen") == 0) {
+    std::fprintf(stderr, "serve --coordinator needs --listen PORT\n");
+    return 2;
+  }
+  options.num_threads = std::max<size_t>(1, args.GetSize("threads", 4));
+  options.rpc_timeout_ms = args.GetSize("rpc-timeout-ms", 2000);
+  options.heartbeat_period_ms = args.GetSize("heartbeat-ms", 1000);
+  options.heartbeat_timeout_ms = args.GetSize("heartbeat-timeout-ms", 5000);
+  options.prune_topk = args.GetSize("prune", 1) != 0;
+  options.prune_skip_ratio = args.GetDouble("prune-skip-ratio", 0.5);
+  tq::runtime::RemoteShardSet engine(options);
+  const Status st = engine.Connect();
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const tq::runtime::EngineInfo info = engine.info();
+  std::printf("coordinator up: %zu workers tiling %u shards, "
+              "%u facilities, %llu users, psi %.1f\n",
+              engine.num_workers(), info.num_shards, info.num_facilities,
+              static_cast<unsigned long long>(info.users_total), info.psi);
+  return RunListenLoop(engine, args);
+}
+
 // Drives the concurrent runtime: a query stream (service values round-robin
 // over facilities, optionally interleaved with top-k), with optional update
 // batches published mid-stream, then a throughput + metrics report.
 // --shards N > 1 serves through the sharded scatter/gather engine.
 int CmdServe(const Args& args) {
+  if (args.kv.count("coordinator") != 0) return RunCoordinator(args);
   tq::TrajectorySet users, facilities;
   Status st = LoadSet(args.Get("users"), &users);
   if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
@@ -582,6 +728,29 @@ int CmdServe(const Args& args) {
   // fine); a shards=1 --listen run must not fall through to the unsharded
   // engine below.
   const bool listen = args.kv.count("listen") != 0;
+  // --worker LO:HI: build trees only for an owned slice of the partition (a
+  // shard-worker process behind a coordinator). Only meaningful behind the
+  // wire protocol — a local query loop over a slice answers partial sums.
+  uint32_t owned_begin = 0;
+  uint32_t owned_end = 0;
+  const std::string worker = args.Get("worker");
+  if (!worker.empty()) {
+    unsigned lo = 0;
+    unsigned hi = 0;
+    if (std::sscanf(worker.c_str(), "%u:%u", &lo, &hi) != 2 || hi <= lo ||
+        hi > num_shards) {
+      std::fprintf(stderr, "serve: bad --worker range '%s' (want LO:HI "
+                           "within 0:%zu)\n",
+                   worker.c_str(), num_shards);
+      return 2;
+    }
+    if (!listen) {
+      std::fprintf(stderr, "serve: --worker requires --listen\n");
+      return 2;
+    }
+    owned_begin = lo;
+    owned_end = hi;
+  }
   // The churn mirror costs a full user-set copy — only pay it when update
   // batches are actually requested (see RunServeLoop).
   tq::TrajectorySet mirror;
@@ -594,14 +763,23 @@ int CmdServe(const Args& args) {
     options.cache_capacity = cache_capacity;
     options.prune_topk = args.GetSize("prune", 1) != 0;
     options.prune_skip_ratio = args.GetDouble("prune-skip-ratio", 0.5);
+    options.owned_begin = owned_begin;
+    options.owned_end = owned_end;
     options.tree = tree;
     tq::runtime::ShardedEngine engine(std::move(users),
                                       std::move(facilities), options);
-    std::printf("sharded engine up: %zu users over %zu shards, "
-                "%zu facilities, %zu threads, top-k %s (built in %.3f s)\n",
-                num_users, engine.num_shards(), num_facilities, num_threads,
-                options.prune_topk ? "bound-and-prune" : "exhaustive",
-                build_timer.ElapsedSeconds());
+    if (owned_end != 0) {
+      std::printf("shard worker up: owns shards [%u, %u) of %zu over %zu "
+                  "users, %zu facilities, %zu threads (built in %.3f s)\n",
+                  owned_begin, owned_end, engine.num_shards(), num_users,
+                  num_facilities, num_threads, build_timer.ElapsedSeconds());
+    } else {
+      std::printf("sharded engine up: %zu users over %zu shards, "
+                  "%zu facilities, %zu threads, top-k %s (built in %.3f s)\n",
+                  num_users, engine.num_shards(), num_facilities, num_threads,
+                  options.prune_topk ? "bound-and-prune" : "exhaustive",
+                  build_timer.ElapsedSeconds());
+    }
     if (listen) return RunListenLoop(engine, args);
     ArmSlowQueryLog(engine, args);  // engine-owned traces cover this path
     return RunServeLoop(engine, std::move(mirror), args);
@@ -632,12 +810,20 @@ int main(int argc, char** argv) {
     args.target = argv[i];
     ++i;
   }
-  for (; i + 1 < argc; i += 2) {
+  for (; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
-    args.kv[argv[i] + 2] = argv[i + 1];
+    // A key directly followed by another --key (or nothing) is a valueless
+    // flag, e.g. --coordinator.
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.kv[argv[i] + 2] = argv[i + 1];
+      ++i;
+    } else {
+      args.kv[argv[i] + 2] = "1";
+    }
   }
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "stats") return CmdStats(args);
+  if (args.command == "status") return CmdStatusNet(args);
   if (args.command == "query") return CmdQuery(args);
   if (args.command == "topk") return CmdTopK(args);
   if (args.command == "cover") return CmdCover(args);

@@ -43,6 +43,13 @@ class DynamicBitset {
   /// Resets all bits to zero.
   void Reset();
 
+  /// Raw word storage: ceil(size()/64) little-endian-bit-order words. Writers
+  /// own the invariant that bits at and beyond size() stay zero (Count(),
+  /// None() and operator== popcount/compare whole words).
+  size_t NumWords() const { return words_.size(); }
+  uint64_t* WordData() { return words_.data(); }
+  const uint64_t* WordData() const { return words_.data(); }
+
   bool operator==(const DynamicBitset& other) const = default;
 
  private:

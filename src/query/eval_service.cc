@@ -166,7 +166,10 @@ double EvaluateServiceTQ(TQTree* tree, const ServiceEvaluator& eval,
                          const StopGrid& grid, QueryStats* stats) {
   const Component full = FullComponent(grid);
   if (tree->options().mode == TrajMode::kSegmented) {
-    ServiceAccumulator acc(&eval);
+    // Arena accumulator reused across queries on this thread: Rebind clears
+    // marks but keeps the table/word allocations warm.
+    static thread_local ServiceAccumulator acc(&eval);
+    acc.Rebind(&eval);
     EvaluateServiceRec(tree, tree->root(), eval, grid, full, &acc, stats);
     return acc.Total();
   }

@@ -1,36 +1,70 @@
 #include "service/accumulator.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace tq {
+namespace {
+
+// Fibonacci hashing spreads consecutive user ids across the table.
+inline uint64_t MixUser(uint32_t user) {
+  return (static_cast<uint64_t>(user) * 0x9E3779B97F4A7C15ULL) >> 32;
+}
+
+}  // namespace
 
 ServiceAccumulator::ServiceAccumulator(const ServiceEvaluator* evaluator)
     : evaluator_(evaluator) {
   TQ_CHECK(evaluator != nullptr);
 }
 
-DynamicBitset& ServiceAccumulator::MaskFor(uint32_t user) {
-  auto it = masks_.find(user);
-  if (it == masks_.end()) {
-    it = masks_.emplace(user, DynamicBitset(evaluator_->MaskSize(user)))
-             .first;
+void ServiceAccumulator::GrowTable() {
+  const size_t cap = table_.empty() ? 64 : table_.size() * 2;
+  table_.assign(cap, TableSlot{});
+  table_mask_ = cap - 1;
+  for (const Slab& s : touched_) {
+    uint64_t slot = MixUser(s.user) & table_mask_;
+    while (table_[slot].user_plus1 != 0) slot = (slot + 1) & table_mask_;
+    table_[slot] = TableSlot{s.user + 1, s.word_begin};
   }
-  return it->second;
+}
+
+uint32_t ServiceAccumulator::SlabFor(uint32_t user) {
+  if (touched_.size() * 2 >= table_.size()) {
+    // Load factor cap at 1/2; also covers the empty-table first touch.
+    GrowTable();
+  }
+  uint64_t slot = MixUser(user) & table_mask_;
+  while (table_[slot].user_plus1 != 0) {
+    if (table_[slot].user_plus1 == user + 1) return table_[slot].word_begin;
+    slot = (slot + 1) & table_mask_;
+  }
+  const auto begin = static_cast<uint32_t>(words_.size());
+  const size_t num_words = (evaluator_->MaskSize(user) + 63) / 64;
+  words_.resize(words_.size() + num_words, 0);
+  table_[slot] = TableSlot{user + 1, begin};
+  touched_.push_back(Slab{user, begin});
+  return begin;
 }
 
 void ServiceAccumulator::MarkPoint(uint32_t user, uint32_t point_index) {
   const ServiceModel& model = evaluator_->model();
   TQ_DCHECK(model.scenario != Scenario::kLength);
-  DynamicBitset& mask = MaskFor(user);
-  if (mask.Test(point_index)) return;
-  mask.Set(point_index);
+  const uint32_t slab = SlabFor(user);
+  uint64_t& word = words_[slab + (point_index >> 6)];
+  const uint64_t bit = uint64_t{1} << (point_index & 63);
+  if ((word & bit) != 0) return;
+  word |= bit;
   const size_t n = evaluator_->users().NumPoints(user);
   if (model.scenario == Scenario::kEndpoints) {
     // Value flips 0 → 1 exactly when this mark completes the endpoint pair.
     const size_t last = n - 1;
-    if ((point_index == 0 || point_index == last) && mask.Test(0) &&
-        mask.Test(last)) {
-      total_ += 1.0;
+    if (point_index == 0 || point_index == last) {
+      const bool first_set = (words_[slab] & 1) != 0;
+      const bool last_set =
+          ((words_[slab + (last >> 6)] >> (last & 63)) & 1) != 0;
+      if (first_set && last_set) total_ += 1.0;
     }
   } else {
     total_ += model.normalization == Normalization::kPerUser
@@ -42,9 +76,11 @@ void ServiceAccumulator::MarkPoint(uint32_t user, uint32_t point_index) {
 void ServiceAccumulator::MarkSegment(uint32_t user, uint32_t seg_index) {
   const ServiceModel& model = evaluator_->model();
   TQ_DCHECK(model.scenario == Scenario::kLength);
-  DynamicBitset& mask = MaskFor(user);
-  if (mask.Test(seg_index)) return;
-  mask.Set(seg_index);
+  const uint32_t slab = SlabFor(user);
+  uint64_t& word = words_[slab + (seg_index >> 6)];
+  const uint64_t bit = uint64_t{1} << (seg_index & 63);
+  if ((word & bit) != 0) return;
+  word |= bit;
   const auto pts = evaluator_->users().points(user);
   const double seg_len = Distance(pts[seg_index], pts[seg_index + 1]);
   if (model.normalization == Normalization::kPerUser) {
@@ -53,6 +89,19 @@ void ServiceAccumulator::MarkSegment(uint32_t user, uint32_t seg_index) {
   } else {
     total_ += seg_len;
   }
+}
+
+void ServiceAccumulator::Rebind(const ServiceEvaluator* evaluator) {
+  TQ_CHECK(evaluator != nullptr);
+  evaluator_ = evaluator;
+  Clear();
+}
+
+void ServiceAccumulator::Clear() {
+  std::fill(table_.begin(), table_.end(), TableSlot{});
+  touched_.clear();
+  words_.clear();
+  total_ = 0.0;
 }
 
 }  // namespace tq

@@ -5,12 +5,21 @@
 // service therefore arrives in pieces. The accumulator dedups served points
 // (a point is shared by two adjacent segments) and finalises per-user scores
 // into SO(U, f).
+//
+// Storage is a flat arena instead of a map of heap-allocated bitsets: an
+// open-addressed user→slab table (power-of-two, Fibonacci-hashed) points at
+// per-user word runs inside one contiguous `words_` vector. Marking a point
+// is a probe plus one OR; Clear() drops to zero marks without deallocating,
+// so a reused accumulator performs no per-query allocation once warm. Memory
+// stays O(users actually touched) — top-k keeps one accumulator per live
+// facility, so per-user-id direct indexing would put the quadratic term in
+// the wrong place.
 #ifndef TQCOVER_SERVICE_ACCUMULATOR_H_
 #define TQCOVER_SERVICE_ACCUMULATOR_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
-#include "common/dynamic_bitset.h"
 #include "service/evaluator.h"
 
 namespace tq {
@@ -31,18 +40,36 @@ class ServiceAccumulator {
   double Total() const { return total_; }
 
   /// Number of users with at least one mark.
-  size_t TouchedUsers() const { return masks_.size(); }
+  size_t TouchedUsers() const { return touched_.size(); }
 
-  void Clear() {
-    masks_.clear();
-    total_ = 0.0;
-  }
+  /// Forgets all marks but keeps every allocation for reuse.
+  void Clear();
+
+  /// Clears and re-points at `evaluator` — lets one long-lived accumulator
+  /// (e.g. a thread_local in the query path) serve queries against different
+  /// evaluators without reallocating its arena.
+  void Rebind(const ServiceEvaluator* evaluator);
 
  private:
-  DynamicBitset& MaskFor(uint32_t user);
+  struct TableSlot {
+    uint32_t user_plus1 = 0;  // 0 = empty
+    uint32_t word_begin = 0;  // slab offset into words_
+  };
+  struct Slab {
+    uint32_t user = 0;
+    uint32_t word_begin = 0;
+  };
+
+  /// Returns the offset of `user`'s mask words inside words_, creating a
+  /// zeroed slab of ceil(MaskSize/64) words on first touch.
+  uint32_t SlabFor(uint32_t user);
+  void GrowTable();
 
   const ServiceEvaluator* evaluator_;
-  std::unordered_map<uint32_t, DynamicBitset> masks_;
+  std::vector<TableSlot> table_;  // power-of-two open-addressed
+  uint64_t table_mask_ = 0;
+  std::vector<Slab> touched_;    // one entry per touched user, touch order
+  std::vector<uint64_t> words_;  // concatenated per-user mask slabs
   double total_ = 0.0;
 };
 

@@ -1,0 +1,378 @@
+// Bit-identity agreement suite for the vectorized service-value kernels
+// (common/simd.h and everything built on it).
+//
+// Every vectorized path in the engine retains its scalar reference in the
+// same binary: simd::* vs simd::scalar::*, StopGrid::Serves/ServesBatch vs
+// ServesScalar, ServiceEvaluator::Evaluate/EvaluateDetail vs the *Scalar
+// twins, Corridor::Reaches vs ReachesScalar, and TQTree::UpperBound (SoA
+// arena + wide kernels) vs UpperBoundScalarReference (node pages + scalar
+// kernels). These tests hold each pair bit-for-bit equal — EXPECT_EQ on the
+// raw double bits, never a tolerance — across scenarios × normalizations ×
+// edge shapes (1-point and 2-point trajectories, segment scenarios on
+// length-<2 inputs, spans crossing and not crossing 64-bit mask words, exact
+// ψ-threshold distances). The suite runs in every CI cell: baseline,
+// -march=x86-64-v3, forced-scalar (-DTQ_SIMD=scalar), ASan/UBSan and TSan.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "datagen/presets.h"
+#include "geom/distance.h"
+#include "service/accumulator.h"
+#include "service/evaluator.h"
+#include "service/models.h"
+#include "service/stop_grid.h"
+#include "tqtree/tq_tree.h"
+
+namespace tq {
+namespace {
+
+#define EXPECT_BIT_EQ(a, b)                        \
+  EXPECT_EQ(std::bit_cast<uint64_t>(double{(a)}),  \
+            std::bit_cast<uint64_t>(double{(b)}))  \
+      << "values: " << (a) << " vs " << (b)
+
+std::vector<ServiceModel> AllModels(double psi) {
+  std::vector<ServiceModel> models;
+  models.push_back(ServiceModel::Endpoints(psi));
+  for (const auto norm : {Normalization::kPerUser, Normalization::kNone}) {
+    models.push_back(ServiceModel::PointCount(psi, norm));
+    models.push_back(ServiceModel::Length(psi, norm));
+  }
+  return models;
+}
+
+// Users with deliberately awkward shapes: 1 point (MaskSize 0 under
+// kLength), 2 points, a few dozen, exactly 64, 65 (mask spills into a second
+// word), and 130 (tail bits past 64-alignment in the third word).
+TrajectorySet EdgeShapeUsers(uint64_t seed) {
+  Rng rng(seed);
+  TrajectorySet users;
+  for (const size_t n : {1u, 2u, 3u, 5u, 31u, 64u, 65u, 130u}) {
+    std::vector<Point> pts;
+    Point p{rng.NextUniform(0, 5000), rng.NextUniform(0, 5000)};
+    for (size_t i = 0; i < n; ++i) {
+      pts.push_back(p);
+      p.x += rng.NextUniform(-120, 120);
+      p.y += rng.NextUniform(-120, 120);
+    }
+    users.Add(pts);
+  }
+  return users;
+}
+
+std::vector<Point> RandomStops(Rng& rng, size_t n) {
+  std::vector<Point> stops;
+  for (size_t i = 0; i < n; ++i) {
+    stops.push_back({rng.NextUniform(0, 5000), rng.NextUniform(0, 5000)});
+  }
+  return stops;
+}
+
+TEST(SimdKernels, LanePredicatesAgreeWithScalarReference) {
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    double xs[4];
+    double ys[4];
+    double pts[8];
+    for (int i = 0; i < 4; ++i) {
+      xs[i] = rng.NextUniform(-100, 100);
+      ys[i] = rng.NextUniform(-100, 100);
+      pts[2 * i] = rng.NextUniform(-100, 100);
+      pts[2 * i + 1] = rng.NextUniform(-100, 100);
+    }
+    const double px = rng.NextUniform(-100, 100);
+    const double py = rng.NextUniform(-100, 100);
+    const double psi2 = rng.NextUniform(0, 400);
+    EXPECT_EQ(simd::LanesWithinPsi2(xs, ys, px, py, psi2),
+              simd::scalar::LanesWithinPsi2(xs, ys, px, py, psi2));
+    const double min_x = rng.NextUniform(-100, 50);
+    const double min_y = rng.NextUniform(-100, 50);
+    const double max_x = min_x + rng.NextUniform(0, 100);
+    const double max_y = min_y + rng.NextUniform(0, 100);
+    EXPECT_EQ(simd::LanesInRect(pts, min_x, min_y, max_x, max_y),
+              simd::scalar::LanesInRect(pts, min_x, min_y, max_x, max_y));
+    EXPECT_EQ(
+        simd::LanesDiskReachRect(pts, min_x, min_y, max_x, max_y, psi2),
+        simd::scalar::LanesDiskReachRect(pts, min_x, min_y, max_x, max_y,
+                                         psi2));
+  }
+}
+
+TEST(SimdKernels, LanePredicatesAgreeAtExactThreshold) {
+  // 3-4-5 triangle: d² is exactly 25, and ψ² = 25 is exactly representable,
+  // so <= sits precisely on the boundary. One ulp either side must flip both
+  // implementations together.
+  const double xs[4] = {3.0, 3.0, std::nextafter(3.0, 4.0),
+                        std::nextafter(3.0, 0.0)};
+  const double ys[4] = {4.0, 4.0, 4.0, 4.0};
+  for (const double psi2 :
+       {25.0, std::nextafter(25.0, 0.0), std::nextafter(25.0, 26.0)}) {
+    EXPECT_EQ(simd::LanesWithinPsi2(xs, ys, 0.0, 0.0, psi2),
+              simd::scalar::LanesWithinPsi2(xs, ys, 0.0, 0.0, psi2));
+  }
+  // Rect reach with the point exactly ψ away from the rect edge.
+  const double pts[8] = {-3.0, -4.0, -3.0, 4.0, 3.0, -4.0, 0.0, 0.0};
+  for (const double psi2 :
+       {25.0, std::nextafter(25.0, 0.0), std::nextafter(25.0, 26.0)}) {
+    EXPECT_EQ(simd::LanesDiskReachRect(pts, 0.0, 0.0, 10.0, 10.0, psi2),
+              simd::scalar::LanesDiskReachRect(pts, 0.0, 0.0, 10.0, 10.0,
+                                               psi2));
+  }
+}
+
+TEST(SimdKernels, ServesAndBatchAgreeWithScalarAcrossShapes) {
+  Rng rng(11);
+  for (const double psi : {40.0, 150.0, 600.0}) {
+    const StopGrid grid(RandomStops(rng, 80), psi);
+    // Span lengths around every boundary the mask code cares about: lane
+    // remainders (mod 4) and word boundaries (mod 64).
+    for (const size_t n : {0u, 1u, 2u, 3u, 4u, 5u, 63u, 64u, 65u, 130u}) {
+      std::vector<Point> probes;
+      for (size_t i = 0; i < n; ++i) {
+        probes.push_back(
+            {rng.NextUniform(-200, 5200), rng.NextUniform(-200, 5200)});
+      }
+      std::vector<uint64_t> mask((n + 63) / 64 + 1, ~uint64_t{0});
+      grid.ServesBatch(probes, mask.data());
+      for (size_t i = 0; i < n; ++i) {
+        const bool batch_bit = (mask[i >> 6] >> (i & 63)) & 1;
+        EXPECT_EQ(grid.Serves(probes[i]), grid.ServesScalar(probes[i]));
+        EXPECT_EQ(batch_bit, grid.ServesScalar(probes[i]))
+            << "point " << i << " of " << n;
+      }
+      // Tail bits at and beyond n must be zeroed, not leaked.
+      for (size_t i = n; i < ((n + 63) / 64) * 64; ++i) {
+        EXPECT_EQ((mask[i >> 6] >> (i & 63)) & 1, 0u) << "tail bit " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ServesBatchExactThresholdPoint) {
+  // A probe exactly ψ from the only stop: served under <=, and every path
+  // must agree on it.
+  const std::vector<Point> stops = {{1000.0, 1000.0}};
+  const StopGrid grid(stops, 5.0);
+  const std::vector<Point> probes = {
+      {1003.0, 1004.0},                            // d² = 25 = ψ² exactly
+      {std::nextafter(1003.0, 1004.0), 1004.0},    // one ulp outside
+      {1003.0, std::nextafter(1004.0, 1000.0)},    // inside
+      {1000.0, 1000.0},
+  };
+  uint64_t mask = ~uint64_t{0};
+  grid.ServesBatch(probes, &mask);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(((mask >> i) & 1) != 0, grid.ServesScalar(probes[i])) << i;
+    EXPECT_EQ(grid.Serves(probes[i]), grid.ServesScalar(probes[i])) << i;
+  }
+  EXPECT_TRUE(grid.ServesScalar(probes[0]));
+  EXPECT_FALSE(grid.ServesScalar(probes[1]));
+}
+
+TEST(SimdKernels, EvaluateAgreesBitForBitAcrossModels) {
+  const TrajectorySet users = EdgeShapeUsers(23);
+  Rng rng(29);
+  for (const double psi : {60.0, 200.0}) {
+    const StopGrid grid(RandomStops(rng, 50), psi);
+    for (const ServiceModel& model : AllModels(psi)) {
+      const ServiceEvaluator eval(&users, model);
+      for (uint32_t u = 0; u < users.size(); ++u) {
+        EXPECT_BIT_EQ(eval.Evaluate(u, grid), eval.EvaluateScalar(u, grid))
+            << "user " << u << " model " << model.ToString();
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, EvaluateDetailMasksIdenticalAndConsistent) {
+  const TrajectorySet users = EdgeShapeUsers(31);
+  Rng rng(37);
+  for (const double psi : {60.0, 200.0}) {
+    const StopGrid grid(RandomStops(rng, 50), psi);
+    for (const ServiceModel& model : AllModels(psi)) {
+      const ServiceEvaluator eval(&users, model);
+      for (uint32_t u = 0; u < users.size(); ++u) {
+        const ServeDetail batch = eval.EvaluateDetail(u, grid);
+        const ServeDetail scalar = eval.EvaluateDetailScalar(u, grid);
+        EXPECT_EQ(batch.mask, scalar.mask)
+            << "user " << u << " model " << model.ToString();
+        EXPECT_EQ(batch.mask.size(), eval.MaskSize(u));
+        // The mask must reproduce the direct evaluation exactly.
+        EXPECT_BIT_EQ(eval.ValueOfMask(u, batch.mask), eval.Evaluate(u, grid))
+            << "user " << u << " model " << model.ToString();
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, CorridorReachesAgreesWithScalar) {
+  Rng rng(41);
+  for (const size_t num_stops : {0u, 1u, 2u, 3u, 4u, 5u, 9u, 40u}) {
+    const std::vector<Point> stops = RandomStops(rng, num_stops);
+    const ZIndex::Corridor corridor{stops, 120.0, Rect::Of(0, 0, 1, 1)};
+    for (int trial = 0; trial < 300; ++trial) {
+      const double min_x = rng.NextUniform(-500, 5000);
+      const double min_y = rng.NextUniform(-500, 5000);
+      const Rect r = Rect::Of(min_x, min_y, min_x + rng.NextUniform(0, 800),
+                              min_y + rng.NextUniform(0, 800));
+      EXPECT_EQ(corridor.Reaches(r), corridor.ReachesScalar(r));
+    }
+  }
+}
+
+TEST(SimdKernels, TreeUpperBoundMatchesScalarReferenceBitForBit) {
+  const TrajectorySet users = presets::NyfCheckins(400);
+  const TrajectorySet routes = presets::NyBusRoutes(12, 24);
+  for (const TrajMode mode : {TrajMode::kWhole, TrajMode::kSegmented}) {
+    for (const ServiceModel& model : AllModels(400.0)) {
+      TQTreeOptions opt;
+      opt.beta = 16;
+      opt.mode = mode;
+      opt.model = model;
+      TQTree tree(&users, opt);
+      tree.BuildAllZIndexes();
+      for (uint32_t f = 0; f < routes.size(); ++f) {
+        const StopGrid grid(routes.points(f), model.psi);
+        // Arena + wide kernels vs node pages + scalar kernels: one shared
+        // traversal template, so the bounds must match to the bit.
+        EXPECT_BIT_EQ(tree.UpperBound(grid),
+                      tree.UpperBoundScalarReference(grid))
+            << "facility " << f << " model " << model.ToString();
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, TreeUpperBoundAgreesAfterMutationAndRefreeze) {
+  TrajectorySet users = presets::NyfCheckins(300);
+  const TrajectorySet routes = presets::NyBusRoutes(6, 20);
+  const ServiceModel model = ServiceModel::PointCount(400.0);
+  TQTreeOptions opt;
+  opt.beta = 16;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  tree.BuildAllZIndexes();
+  const StopGrid grid(routes.points(0), model.psi);
+  EXPECT_BIT_EQ(tree.UpperBound(grid), tree.UpperBoundScalarReference(grid));
+  // Mutations invalidate the SoA arena; the page fallback path must agree
+  // with the scalar reference too, and so must the rebuilt arena.
+  tree.Remove(0);
+  EXPECT_BIT_EQ(tree.UpperBound(grid), tree.UpperBoundScalarReference(grid));
+  tree.Insert(0);
+  EXPECT_BIT_EQ(tree.UpperBound(grid), tree.UpperBoundScalarReference(grid));
+  tree.BuildAllZIndexes();
+  EXPECT_BIT_EQ(tree.UpperBound(grid), tree.UpperBoundScalarReference(grid));
+}
+
+TEST(SimdKernels, AccumulatorArenaMatchesMapReference) {
+  const TrajectorySet users = EdgeShapeUsers(47);
+  Rng rng(53);
+  for (const ServiceModel& model : AllModels(150.0)) {
+    const ServiceEvaluator eval(&users, model);
+    ServiceAccumulator acc(&eval);
+    // Shadow with the exact semantics of the old map-of-bitsets
+    // implementation, applied in the same mark order; totals must agree to
+    // the bit since the same doubles are added in the same sequence.
+    std::unordered_map<uint32_t, DynamicBitset> shadow;
+    double shadow_total = 0.0;
+    const bool segmented = model.scenario == Scenario::kLength;
+    for (int round = 0; round < 2; ++round) {
+      acc.Clear();
+      shadow.clear();
+      shadow_total = 0.0;
+      for (int i = 0; i < 3000; ++i) {
+        const auto user = static_cast<uint32_t>(rng.NextBelow(users.size()));
+        const size_t mask_size = eval.MaskSize(user);
+        if (mask_size == 0) continue;
+        const auto index = static_cast<uint32_t>(rng.NextBelow(mask_size));
+        auto it = shadow.find(user);
+        if (it == shadow.end()) {
+          it = shadow.emplace(user, DynamicBitset(mask_size)).first;
+        }
+        DynamicBitset& mask = it->second;
+        if (segmented) {
+          acc.MarkSegment(user, index);
+          if (!mask.Test(index)) {
+            mask.Set(index);
+            const auto pts = users.points(user);
+            const double seg_len = Distance(pts[index], pts[index + 1]);
+            if (model.normalization == Normalization::kPerUser) {
+              const double total_len = users.length(user);
+              shadow_total += total_len > 0.0 ? seg_len / total_len : 0.0;
+            } else {
+              shadow_total += seg_len;
+            }
+          }
+        } else {
+          acc.MarkPoint(user, index);
+          if (!mask.Test(index)) {
+            mask.Set(index);
+            const size_t n = users.NumPoints(user);
+            if (model.scenario == Scenario::kEndpoints) {
+              if ((index == 0 || index == n - 1) && mask.Test(0) &&
+                  mask.Test(n - 1)) {
+                shadow_total += 1.0;
+              }
+            } else {
+              shadow_total += model.normalization == Normalization::kPerUser
+                                  ? 1.0 / static_cast<double>(n)
+                                  : 1.0;
+            }
+          }
+        }
+        EXPECT_BIT_EQ(acc.Total(), shadow_total);
+      }
+      EXPECT_EQ(acc.TouchedUsers(), shadow.size());
+    }
+    acc.Clear();
+    EXPECT_EQ(acc.TouchedUsers(), 0u);
+    EXPECT_BIT_EQ(acc.Total(), 0.0);
+  }
+}
+
+// Read-only concurrency over the shared frozen structures — the shape the
+// sharded engine runs the kernels in. TSan runs this suite in CI; any hidden
+// shared mutable state in the batch paths (scratch buffers, arena) trips it.
+TEST(SimdKernels, ConcurrentReadersAgree) {
+  const TrajectorySet users = presets::NyfCheckins(200);
+  const TrajectorySet routes = presets::NyBusRoutes(4, 16);
+  const ServiceModel model = ServiceModel::PointCount(400.0);
+  const ServiceEvaluator eval(&users, model);
+  TQTreeOptions opt;
+  opt.model = model;
+  TQTree tree(&users, opt);
+  tree.BuildAllZIndexes();
+  std::vector<StopGrid> grids;
+  for (uint32_t f = 0; f < routes.size(); ++f) {
+    grids.emplace_back(routes.points(f), model.psi);
+  }
+  std::vector<std::thread> threads;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (const StopGrid& grid : grids) {
+        if (std::bit_cast<uint64_t>(tree.UpperBound(grid)) !=
+            std::bit_cast<uint64_t>(tree.UpperBoundScalarReference(grid))) {
+          failures[t]++;
+        }
+        for (uint32_t u = 0; u < users.size(); ++u) {
+          if (std::bit_cast<uint64_t>(eval.Evaluate(u, grid)) !=
+              std::bit_cast<uint64_t>(eval.EvaluateScalar(u, grid))) {
+            failures[t]++;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+}
+
+}  // namespace
+}  // namespace tq

@@ -1,0 +1,190 @@
+// Durability subsystem cost model (src/storage): what a WAL append adds to
+// the publish path under each --wal-sync policy, what a checkpoint costs at
+// workload size, and how fast a SIGKILL'd server is back — split into
+// checkpoint-load and WAL-replay components, since the replay share is what
+// the checkpoint interval tunes away. Emits "# json: recovery_time"; CI runs
+// it as a liveness gate in the bench smoke step.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/sharded_engine.h"
+#include "storage/wal.h"
+
+using namespace tq;         // NOLINT(build/namespaces)
+using namespace tq::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("tq_bench_recovery_" + name);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+runtime::ShardedEngineOptions Options(const ServiceModel& model,
+                                      const std::string& data_dir,
+                                      storage::WalSync sync) {
+  runtime::ShardedEngineOptions o;
+  o.num_shards = 4;
+  o.num_threads = 4;
+  o.tree.beta = 64;
+  o.tree.model = model;
+  o.durability.data_dir = data_dir;
+  o.durability.wal_sync = sync;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = BenchEnv::FromEnv();
+  const size_t num_users = std::max<size_t>(2000, env.DefaultUsers());
+  const TrajectorySet users = presets::NytTrips(num_users);
+  const TrajectorySet facs = presets::NyBusRoutes(8, env.DefaultStops());
+  const ServiceModel model = ServiceModel::Endpoints(env.DefaultPsi());
+
+  // A fixed churn tape, replayed identically through every configuration:
+  // re-insert existing trajectories (same geometry, new ids) and remove the
+  // oldest — the WAL cost depends on bytes, not novelty.
+  const size_t num_batches = 64;
+  const size_t batch_inserts = 16;
+  std::vector<runtime::UpdateBatch> batches;
+  uint32_t next_user = 0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    runtime::UpdateBatch batch;
+    for (size_t i = 0; i < batch_inserts; ++i) {
+      const auto pts = users.points(next_user % users.size());
+      batch.inserts.emplace_back(pts.begin(), pts.end());
+      ++next_user;
+    }
+    batch.removes = {static_cast<uint32_t>(b)};
+    batches.push_back(std::move(batch));
+  }
+
+  std::printf("durability / recovery cost (scale=%.3f, %zu users, "
+              "%zu batches x %zu inserts)\n",
+              env.scale, num_users, num_batches, batch_inserts);
+  Banner("publish overhead per --wal-sync policy");
+  std::printf("%-12s %14s %14s\n", "wal_sync", "batches/s", "vs none");
+
+  auto run_batches = [&](runtime::ShardedEngine* engine) {
+    Timer t;
+    for (const runtime::UpdateBatch& batch : batches) {
+      engine->ApplyUpdates(batch);
+    }
+    return t.ElapsedSeconds();
+  };
+
+  double rate_none = 0.0;
+  {
+    runtime::ShardedEngine engine(
+        users, facs, Options(model, "", storage::WalSync::kAlways));
+    rate_none = static_cast<double>(num_batches) / run_batches(&engine);
+    std::printf("%-12s %14.1f %14s\n", "none", rate_none, "1.00x");
+  }
+  struct SyncRow {
+    const char* name;
+    storage::WalSync sync;
+    double rate = 0.0;
+  };
+  std::vector<SyncRow> rows = {{"off", storage::WalSync::kOff},
+                               {"batch", storage::WalSync::kBatch},
+                               {"always", storage::WalSync::kAlways}};
+  for (SyncRow& row : rows) {
+    const std::string dir = FreshDir(row.name);
+    runtime::ShardedEngine engine(users, facs, Options(model, dir, row.sync));
+    row.rate = static_cast<double>(num_batches) / run_batches(&engine);
+    std::printf("%-12s %14.1f %13.2fx\n", row.name, row.rate,
+                rate_none / row.rate);
+  }
+
+  // Checkpoint + recovery, measured on two data dirs: one checkpointed
+  // after the churn (recovery = pure checkpoint load) and one left WAL-only
+  // (recovery = initial-checkpoint load + full replay).
+  Banner("checkpoint and recovery");
+  const std::string dir_ck = FreshDir("checkpointed");
+  const std::string dir_wal = FreshDir("wal_only");
+  double checkpoint_s = 0.0;
+  {
+    runtime::ShardedEngine engine(
+        users, facs, Options(model, dir_ck, storage::WalSync::kOff));
+    run_batches(&engine);
+    Timer t;
+    if (!engine.Checkpoint().ok()) {
+      std::fprintf(stderr, "checkpoint failed\n");
+      return 1;
+    }
+    checkpoint_s = t.ElapsedSeconds();
+  }
+  {
+    runtime::ShardedEngine engine(
+        users, facs, Options(model, dir_wal, storage::WalSync::kOff));
+    run_batches(&engine);
+  }
+
+  auto recover = [&](const std::string& dir, double* seconds,
+                     storage::RecoveryInfo* info) {
+    Timer t;
+    auto engine = runtime::ShardedEngine::Recover(
+        Options(model, dir, storage::WalSync::kOff));
+    if (!engine.ok()) {
+      std::fprintf(stderr, "recover(%s): %s\n", dir.c_str(),
+                   engine.status().ToString().c_str());
+      std::exit(1);
+    }
+    *seconds = t.ElapsedSeconds();
+    *info = (*engine)->recovery_info();
+    // Liveness: the recovered engine answers queries.
+    const runtime::QueryResponse r =
+        (*engine)->Submit(runtime::QueryRequest::ServiceValue(0)).get();
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "post-recovery query failed\n");
+      std::exit(1);
+    }
+  };
+
+  double recover_ck_s = 0.0, recover_wal_s = 0.0;
+  storage::RecoveryInfo info_ck, info_wal;
+  recover(dir_ck, &recover_ck_s, &info_ck);
+  recover(dir_wal, &recover_wal_s, &info_wal);
+  const double replay_us_per_batch =
+      info_wal.replayed_batches > 0
+          ? (recover_wal_s - recover_ck_s) * 1e6 /
+                static_cast<double>(info_wal.replayed_batches)
+          : 0.0;
+
+  std::printf("%-28s %12.4f s\n", "checkpoint (stream+trim+compact)",
+              checkpoint_s);
+  std::printf("%-28s %12.4f s  (replayed %llu)\n", "recover, checkpointed",
+              recover_ck_s,
+              static_cast<unsigned long long>(info_ck.replayed_batches));
+  std::printf("%-28s %12.4f s  (replayed %llu)\n", "recover, WAL-only",
+              recover_wal_s,
+              static_cast<unsigned long long>(info_wal.replayed_batches));
+  std::printf("%-28s %12.2f us/batch\n", "replay marginal cost",
+              replay_us_per_batch);
+
+  std::printf(
+      "# json: {\"bench\":\"recovery_time\",\"users\":%zu,\"batches\":%zu,"
+      "\"publish_batches_per_sec\":{\"none\":%.1f,\"off\":%.1f,"
+      "\"batch\":%.1f,\"always\":%.1f},\"checkpoint_s\":%.4f,"
+      "\"recover_checkpointed_s\":%.4f,\"recover_wal_only_s\":%.4f,"
+      "\"replayed_batches\":%llu,\"replay_us_per_batch\":%.2f}\n",
+      num_users, num_batches, rate_none, rows[0].rate, rows[1].rate,
+      rows[2].rate, checkpoint_s, recover_ck_s, recover_wal_s,
+      static_cast<unsigned long long>(info_wal.replayed_batches),
+      replay_us_per_batch);
+
+  std::filesystem::remove_all(dir_ck);
+  std::filesystem::remove_all(dir_wal);
+  for (const SyncRow& row : rows) {
+    std::filesystem::remove_all(
+        std::filesystem::temp_directory_path() /
+        ("tq_bench_recovery_" + std::string(row.name)));
+  }
+  return 0;
+}

@@ -134,7 +134,71 @@ bool GetWorkerInfo(Reader* r, WireWorkerInfo* info) {
          r->GetU32(&info->num_facilities) && r->GetU64(&info->users_total);
 }
 
+/// Update-body reader shared by DecodeRequest's kUpdate branch and the
+/// public DecodeUpdateBody (WAL replay). The two paths MUST stay one code
+/// path: a payload the server accepted from the wire must replay.
+Status ReadUpdateBody(Reader* r, std::vector<std::vector<Point>>* inserts,
+                      std::vector<uint32_t>* removes) {
+  uint32_t count = 0;
+  if (!r->GetU32(&count) || !r->Plausible(count, 4)) {
+    return Truncated("update request");
+  }
+  inserts->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t num_points = 0;
+    if (!r->GetU32(&num_points) || !r->Plausible(num_points, 16)) {
+      return Truncated("update request");
+    }
+    // Trajectories are non-empty by library invariant (routing keys off
+    // the first point); reject here so no wire bytes can reach the
+    // engine's checks.
+    if (num_points == 0) {
+      return Status::InvalidArgument("empty insert trajectory");
+    }
+    (*inserts)[i].resize(num_points);
+    for (uint32_t p = 0; p < num_points; ++p) {
+      Point& pt = (*inserts)[i][p];
+      if (!r->GetF64(&pt.x) || !r->GetF64(&pt.y)) {
+        return Truncated("update request");
+      }
+    }
+  }
+  if (!r->GetU32(&count) || !r->Plausible(count, 4)) {
+    return Truncated("update request");
+  }
+  removes->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r->GetU32(&(*removes)[i])) return Truncated("update request");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+void EncodeUpdateBody(const std::vector<std::vector<Point>>& inserts,
+                      const std::vector<uint32_t>& removes,
+                      std::string* out) {
+  PutU32(out, static_cast<uint32_t>(inserts.size()));
+  for (const auto& traj : inserts) {
+    PutU32(out, static_cast<uint32_t>(traj.size()));
+    for (const Point& p : traj) {
+      PutF64(out, p.x);
+      PutF64(out, p.y);
+    }
+  }
+  PutU32(out, static_cast<uint32_t>(removes.size()));
+  for (const uint32_t id : removes) PutU32(out, id);
+}
+
+Status DecodeUpdateBody(std::string_view body,
+                        std::vector<std::vector<Point>>* inserts,
+                        std::vector<uint32_t>* removes) {
+  Reader r(body);
+  const Status st = ReadUpdateBody(&r, inserts, removes);
+  if (!st.ok()) return st;
+  if (!r.Done()) return Status::InvalidArgument("trailing update body bytes");
+  return Status::OK();
+}
 
 void EncodeRequest(const NetRequest& request, std::string* out) {
   const size_t frame_start = out->size();
@@ -152,16 +216,7 @@ void EncodeRequest(const NetRequest& request, std::string* out) {
       for (const uint32_t k : request.ks) PutU32(out, k);
       break;
     case MessageType::kUpdate:
-      PutU32(out, static_cast<uint32_t>(request.inserts.size()));
-      for (const auto& traj : request.inserts) {
-        PutU32(out, static_cast<uint32_t>(traj.size()));
-        for (const Point& p : traj) {
-          PutF64(out, p.x);
-          PutF64(out, p.y);
-        }
-      }
-      PutU32(out, static_cast<uint32_t>(request.removes.size()));
-      for (const uint32_t id : request.removes) PutU32(out, id);
+      EncodeUpdateBody(request.inserts, request.removes, out);
       break;
     case MessageType::kStats:
       PutU32(out, request.stats_max_traces);
@@ -283,6 +338,11 @@ void EncodeResponse(const NetResponse& response, std::string* out) {
           PutU64(out, w.rtt_p50_ns);
           PutU64(out, w.rtt_p99_ns);
         }
+        PutU8(out, response.durability.flags);
+        PutU64(out, response.durability.checkpoint_lsn);
+        PutU64(out, response.durability.last_lsn);
+        PutU64(out, response.durability.replayed_batches);
+        PutU64(out, response.durability.recovery_ns);
         break;
       case MessageType::kError:
         break;  // status carries everything
@@ -329,36 +389,8 @@ Status DecodeRequest(std::string_view payload, NetRequest* out) {
     }
     case MessageType::kUpdate: {
       out->type = MessageType::kUpdate;
-      if (!r.GetU32(&count) || !r.Plausible(count, 4)) {
-        return Truncated("update request");
-      }
-      out->inserts.resize(count);
-      for (uint32_t i = 0; i < count; ++i) {
-        uint32_t num_points = 0;
-        if (!r.GetU32(&num_points) || !r.Plausible(num_points, 16)) {
-          return Truncated("update request");
-        }
-        // Trajectories are non-empty by library invariant (routing keys off
-        // the first point); reject here so no wire bytes can reach the
-        // engine's checks.
-        if (num_points == 0) {
-          return Status::InvalidArgument("empty insert trajectory");
-        }
-        out->inserts[i].resize(num_points);
-        for (uint32_t p = 0; p < num_points; ++p) {
-          Point& pt = out->inserts[i][p];
-          if (!r.GetF64(&pt.x) || !r.GetF64(&pt.y)) {
-            return Truncated("update request");
-          }
-        }
-      }
-      if (!r.GetU32(&count) || !r.Plausible(count, 4)) {
-        return Truncated("update request");
-      }
-      out->removes.resize(count);
-      for (uint32_t i = 0; i < count; ++i) {
-        if (!r.GetU32(&out->removes[i])) return Truncated("update request");
-      }
+      const Status st = ReadUpdateBody(&r, &out->inserts, &out->removes);
+      if (!st.ok()) return st;
       break;
     }
     case MessageType::kStats: {
@@ -577,6 +609,12 @@ Status DecodeResponse(std::string_view payload, NetResponse* out) {
           return Truncated("status response");
         }
       }
+      WireDurability& d = out->durability;
+      if (!r.GetU8(&d.flags) || !r.GetU64(&d.checkpoint_lsn) ||
+          !r.GetU64(&d.last_lsn) || !r.GetU64(&d.replayed_batches) ||
+          !r.GetU64(&d.recovery_ns)) {
+        return Truncated("status response");
+      }
       break;
     }
     case MessageType::kError:
@@ -642,7 +680,8 @@ std::string WireStatsToJson(const WireStats& stats) {
 }
 
 std::string WireStatusToJson(const WireWorkerInfo& self,
-                             const std::vector<WireWorkerStatus>& workers) {
+                             const std::vector<WireWorkerStatus>& workers,
+                             const WireDurability& durability) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "{\"self\":{\"num_shards\":%u,\"owned_begin\":%u,"
@@ -675,7 +714,19 @@ std::string WireStatusToJson(const WireWorkerInfo& self,
                   static_cast<double>(w.rtt_p99_ns) / 1e3);
     out += buf;
   }
-  out += "]}";
+  std::snprintf(buf, sizeof(buf),
+                "],\"durability\":{\"durable\":%s,\"recovered\":%s,"
+                "\"wal_torn_tail\":%s,\"checkpoint_lsn\":%llu,"
+                "\"last_lsn\":%llu,\"replayed_batches\":%llu,"
+                "\"recovery_ms\":%.3f}}",
+                durability.durable() ? "true" : "false",
+                durability.recovered() ? "true" : "false",
+                durability.wal_torn_tail() ? "true" : "false",
+                static_cast<unsigned long long>(durability.checkpoint_lsn),
+                static_cast<unsigned long long>(durability.last_lsn),
+                static_cast<unsigned long long>(durability.replayed_batches),
+                static_cast<double>(durability.recovery_ns) / 1e6);
+  out += buf;
   return out;
 }
 

@@ -37,7 +37,8 @@ namespace tq::net {
 
 /// Bumped on any incompatible layout change; a server answers a version it
 /// does not speak with kInvalidArgument and closes the connection.
-inline constexpr uint8_t kProtocolVersion = 1;
+/// v2: kStatus responses carry a durability block after the worker table.
+inline constexpr uint8_t kProtocolVersion = 2;
 /// Bytes of the [u32 length] frame header.
 inline constexpr size_t kFrameHeaderBytes = 4;
 /// Default cap on one frame's payload (both directions). A length field
@@ -135,10 +136,27 @@ struct WireWorkerStatus {
   uint64_t rtt_p99_ns = 0;
 };
 
+/// Durability block of a kStatus response — the wire form of the engine's
+/// storage::RecoveryInfo plus its live checkpoint LSN. All-zero when the
+/// process serves without a data dir.
+struct WireDurability {
+  uint8_t flags = 0;  // bit0 durable, bit1 recovered, bit2 WAL tail was torn
+  uint64_t checkpoint_lsn = 0;    // latest committed checkpoint (0 = none)
+  uint64_t last_lsn = 0;          // current snapshot version
+  uint64_t replayed_batches = 0;  // WAL records applied at startup
+  uint64_t recovery_ns = 0;       // startup load + replay wall time
+
+  bool durable() const { return flags & 1; }
+  bool recovered() const { return flags & 2; }
+  bool wal_torn_tail() const { return flags & 4; }
+};
+
 /// Machine-parsable one-line JSON for a kStatus scrape (`tqcover_cli status`
-/// emits it as `# json:`; the CI distributed-smoke job parses it).
+/// emits it as `# json:`; the CI distributed-smoke and crash-recovery jobs
+/// parse it).
 std::string WireStatusToJson(const WireWorkerInfo& self,
-                             const std::vector<WireWorkerStatus>& workers);
+                             const std::vector<WireWorkerStatus>& workers,
+                             const WireDurability& durability);
 
 /// One decoded request frame. Exactly the fields of the frame's type are
 /// populated; ψ = 0 means "serve with the engine's configured ψ", any other
@@ -238,6 +256,7 @@ struct NetResponse {
   WireStats stats;                            // kStats
   WireWorkerInfo worker_info;                 // kRegister, kStatus (self)
   std::vector<WireWorkerStatus> workers;      // kStatus (empty on workers)
+  WireDurability durability;                  // kStatus
   /// kBound: per-facility upper bounds Σ_{owned s} UB_s(f), facility order.
   std::vector<double> bounds;
   /// kBound: facilities the worker settled exactly in its local rounds, as
@@ -249,6 +268,19 @@ struct NetResponse {
 
 /// Appends one whole frame (header + payload) for `request` to `*out`.
 void EncodeRequest(const NetRequest& request, std::string* out);
+
+/// The BODY of a kUpdate request (no frame header, version, type, or ψ):
+/// u32 insert count, then per trajectory u32 point count + f64 x/y pairs,
+/// then u32 remove count + u32 global ids. This exact byte layout is also
+/// the WAL record payload (storage/wal.h) — one codec, two consumers, so a
+/// replayed batch is bit-identical to the frame that carried it.
+void EncodeUpdateBody(const std::vector<std::vector<Point>>& inserts,
+                      const std::vector<uint32_t>& removes, std::string* out);
+/// Decodes one EncodeUpdateBody payload. Rejects empty trajectories and
+/// trailing bytes; never reads out of bounds.
+Status DecodeUpdateBody(std::string_view body,
+                        std::vector<std::vector<Point>>* inserts,
+                        std::vector<uint32_t>* removes);
 /// Appends one whole frame (header + payload) for `response` to `*out`.
 void EncodeResponse(const NetResponse& response, std::string* out);
 

@@ -591,6 +591,14 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
         row.rtt_p99_ns = w.rtt.Percentile(0.99);
         resp.workers.push_back(std::move(row));
       }
+      const runtime::RecoveryInfo rec = engine_->recovery_info();
+      resp.durability.flags = static_cast<uint8_t>(
+          (rec.durable ? 1 : 0) | (rec.recovered ? 2 : 0) |
+          (rec.wal_torn_tail ? 4 : 0));
+      resp.durability.checkpoint_lsn = rec.checkpoint_lsn;
+      resp.durability.last_lsn = rec.last_lsn;
+      resp.durability.replayed_batches = rec.replayed_batches;
+      resp.durability.recovery_ns = rec.recovery_ns;
       std::string bytes;
       EncodeResponse(resp, &bytes);
       Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);

@@ -60,6 +60,15 @@ namespace tq::runtime {
 //                            worker RPCs issued, queries answered from fewer
 //                            workers than configured, heartbeat probes sent,
 //                            alive->dead worker transitions observed
+//   wal_appends/wal_bytes/wal_replayed
+//                            durability accounting (src/storage/): update
+//                            batches logged, record payload bytes logged,
+//                            batches replayed from the WAL during recovery
+//   checkpoints/checkpoint_ns/pages_reclaimed
+//                            checkpointer accounting: checkpoints committed,
+//                            total checkpoint wall ns (stream + trim +
+//                            compact), node pages released from live fork
+//                            chains by post-checkpoint compaction
 #define TQ_METRICS_COUNTERS(X) \
   X(queries_total)             \
   X(service_queries)           \
@@ -91,7 +100,13 @@ namespace tq::runtime {
   X(coord_rpcs)                \
   X(coord_partial)             \
   X(heartbeats_sent)           \
-  X(worker_failures)
+  X(worker_failures)           \
+  X(wal_appends)               \
+  X(wal_bytes)                 \
+  X(wal_replayed)              \
+  X(checkpoints)               \
+  X(checkpoint_ns)             \
+  X(pages_reclaimed)
 
 /// Plain-value snapshot of a MetricsRegistry, safe to copy and format.
 struct MetricsView {
@@ -225,6 +240,25 @@ class MetricsRegistry {
   }
   void AddWorkerFailure() {
     worker_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Durability accounting (bumped by storage::DurabilityManager and the
+  /// engine's recovery path only).
+  void AddWalAppend(uint64_t payload_bytes) {
+    wal_appends_.fetch_add(1, std::memory_order_relaxed);
+    if (payload_bytes) {
+      wal_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+    }
+  }
+  void AddWalReplayed(uint64_t n) {
+    if (n) wal_replayed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddCheckpoint(uint64_t ns) {
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    checkpoint_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void AddPagesReclaimed(uint64_t n) {
+    if (n) pages_reclaimed_.fetch_add(n, std::memory_order_relaxed);
   }
 
   /// Folds one query's traversal counters into the registry.

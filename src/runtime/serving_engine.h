@@ -32,8 +32,15 @@
 #include "runtime/histogram.h"
 #include "runtime/metrics.h"
 #include "runtime/trace.h"
+#include "storage/durability.h"
 
 namespace tq::runtime {
+
+/// Engine durability knobs and recovery report, re-exported so front-end
+/// code (net/, tools/) configures engines without spelling the storage
+/// namespace. The subsystem itself lives in src/storage/.
+using DurabilityOptions = storage::DurabilityOptions;
+using RecoveryInfo = storage::RecoveryInfo;
 
 /// A serving process's identity: the partition geometry every peer must
 /// agree on before per-shard answers compose. Mirrors net::WireWorkerInfo
@@ -105,6 +112,17 @@ class ServingEngine {
   /// shards (serves kBound frames). `done` runs exactly once, possibly
   /// inline, and must not block.
   virtual void TopKBoundSweepAsync(size_t k, BoundSweepCallback done) = 0;
+
+  // ---- durability ------------------------------------------------------
+  /// Forces one synchronous checkpoint → WAL-trim → compaction cycle.
+  /// kUnimplemented on engines without a durability subsystem (the default,
+  /// and any engine started without a data dir).
+  virtual Status Checkpoint() {
+    return Status::Unimplemented("engine has no durability subsystem");
+  }
+  /// What recovery did at startup (kStatus frames, CLI status). All-zero /
+  /// non-durable on engines without a durability subsystem.
+  virtual storage::RecoveryInfo recovery_info() const { return {}; }
 
   // ---- periodic maintenance --------------------------------------------
   /// How often the front-end should call Tick(); 0 = never (no timer).

@@ -31,6 +31,11 @@ ShardRouter::ShardRouter(const TrajectorySet& users, const Rect& world,
   TQ_DCHECK(std::is_sorted(splits_.begin(), splits_.end()));
 }
 
+ShardRouter::ShardRouter(const Rect& world, std::vector<uint64_t> splits)
+    : world_(world), splits_(std::move(splits)) {
+  TQ_CHECK(std::is_sorted(splits_.begin(), splits_.end()));
+}
+
 uint64_t ShardRouter::KeyOf(std::span<const Point> traj) const {
   // Hard check (release builds too): ApplyUpdates routes raw tenant input
   // before TrajectorySet::Add gets a chance to reject an empty trajectory.

@@ -44,6 +44,11 @@ class ShardRouter {
   ShardRouter(const TrajectorySet& users, const Rect& world,
               size_t num_shards);
 
+  /// Adopts a previously frozen partition verbatim (checkpoint recovery):
+  /// the manifest records world + split keys, and routing must reproduce the
+  /// writing process's decisions exactly. `splits` must be ascending.
+  ShardRouter(const Rect& world, std::vector<uint64_t> splits);
+
   size_t num_shards() const { return splits_.size() + 1; }
   const Rect& world() const { return world_; }
 

@@ -9,7 +9,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "net/protocol.h"
 #include "query/eval_service.h"
+#include "tqtree/serialize.h"
 
 namespace {
 
@@ -133,9 +135,306 @@ ShardedEngine::ShardedEngine(TrajectorySet users, TrajectorySet facilities,
     snap->shards.push_back(std::move(state));
   }
   Publish(std::move(snap), n);
+
+  if (options_.durability.enabled()) {
+    // A fresh durable engine demands a virgin data dir: silently shadowing
+    // an existing checkpoint would fork its history. Recover() is the path
+    // for existing state; callers decide via storage::CurrentCheckpointDir.
+    TQ_CHECK_MSG(
+        storage::CurrentCheckpointDir(options_.durability.data_dir)
+                .status()
+                .code() == StatusCode::kNotFound,
+        "data dir already holds a checkpoint; use ShardedEngine::Recover");
+    recovery_info_.durable = true;
+    recovery_info_.last_lsn = snapshot()->version;
+    // The initial checkpoint captures version 1 (this constructor's state);
+    // WAL records then start at LSN 2, the first ApplyUpdates publish.
+    StartDurability(/*next_lsn=*/2, /*initial_checkpoint=*/true);
+  }
 }
 
-ShardedEngine::~ShardedEngine() = default;  // pool_ last member: joins first
+ShardedEngine::~ShardedEngine() {
+  // Stop the checkpointer before any member is torn down: its closures walk
+  // the snapshot, registry, and metrics. pool_ (last member) then joins
+  // in-flight scatter tasks as before.
+  if (durability_) durability_->Stop();
+}
+
+ShardedEngine::ShardedEngine(RecoverTag, ShardedEngineOptions options,
+                             const storage::CheckpointManifest& manifest)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_shards),
+      router_(manifest.world, manifest.splits),
+      pool_(options_.num_threads, &metrics_) {
+  const size_t n = router_.num_shards();
+  owned_begin_ = options_.owned_begin;
+  owned_end_ = options_.owned_end;
+  if (owned_begin_ == 0 && owned_end_ == 0) {
+    owned_end_ = static_cast<uint32_t>(n);
+  }
+  TQ_CHECK(owned_begin_ < owned_end_ && owned_end_ <= n);
+  shard_user_counts_.assign(n, 0);
+}
+
+Result<std::unique_ptr<ShardedEngine>> ShardedEngine::Recover(
+    ShardedEngineOptions options) {
+  TQ_CHECK(options.durability.enabled());
+  const uint64_t start_ns = NowNs();
+  auto dir = storage::CurrentCheckpointDir(options.durability.data_dir);
+  TQ_RETURN_NOT_OK(dir.status());
+  auto manifest = storage::ReadCheckpointManifest(*dir);
+  TQ_RETURN_NOT_OK(manifest.status());
+  // The recovering process must be CONFIGURED with the geometry the
+  // checkpoint was written under — a different ψ, service model, or world
+  // would rebuild different trees and silently change answers.
+  const uint64_t hash = TQTreeGeometryHash(options.tree, manifest->world);
+  if (hash != manifest->geometry_hash) {
+    return Status::InvalidArgument(
+        "tree options do not match the checkpoint's geometry hash");
+  }
+  // The partition geometry is adopted wholesale; a configured shard count
+  // is ignored in favour of the manifest's.
+  options.num_shards = manifest->shards.size();
+  std::unique_ptr<ShardedEngine> engine(
+      new ShardedEngine(RecoverTag{}, std::move(options), *manifest));
+  TQ_RETURN_NOT_OK(engine->RecoverFrom(*dir, *manifest));
+  engine->recovery_info_.recovery_ns = NowNs() - start_ns;
+  return engine;
+}
+
+Status ShardedEngine::RecoverFrom(
+    const std::string& checkpoint_dir,
+    const storage::CheckpointManifest& manifest) {
+  const size_t n = router_.num_shards();
+
+  // Registry: global id -> (shard, local id), exactly as the crashed
+  // process assigned them. It cannot be re-derived from the per-shard sets
+  // (cross-shard insertion interleaving is lost), hence registry.bin.
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  TQ_RETURN_NOT_OK(storage::LoadCheckpointRegistry(checkpoint_dir, &entries));
+  if (entries.size() != manifest.users_total) {
+    return Status::InvalidArgument("checkpoint registry size mismatch");
+  }
+  users_.clear();
+  users_.reserve(entries.size());
+  for (const auto& [shard, local] : entries) {
+    if (shard >= n) {
+      return Status::InvalidArgument("checkpoint registry shard out of range");
+    }
+    users_.push_back(UserLocation{shard, local});
+  }
+  for (size_t s = 0; s < n; ++s) {
+    shard_user_counts_[s] =
+        static_cast<uint32_t>(manifest.shards[s].user_count);
+  }
+
+  auto facilities = storage::LoadCheckpointFacilities(checkpoint_dir);
+  TQ_RETURN_NOT_OK(facilities.status());
+  auto facilities_ptr =
+      std::make_shared<TrajectorySet>(std::move(*facilities));
+  auto snap = std::make_shared<ShardedSnapshot>();
+  snap->version = manifest.lsn;
+  snap->facilities = facilities_ptr;
+  snap->catalog = std::make_shared<FacilityCatalog>(facilities_ptr.get(),
+                                                    options_.tree.model.psi);
+  snap->shards.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto state = std::make_shared<ShardState>();
+    state->shard = static_cast<uint32_t>(s);
+    // Generations restore verbatim so the recovered generation vector
+    // (cache keys, kUpdate responses) matches the uninterrupted run.
+    state->generation = manifest.shards[s].generation;
+    if (Owns(s)) {
+      if (!manifest.shards[s].has_tree) {
+        return Status::InvalidArgument(
+            "checkpoint has no tree for owned shard " + std::to_string(s));
+      }
+      auto users = storage::LoadCheckpointShardUsers(
+          checkpoint_dir, static_cast<uint32_t>(s));
+      TQ_RETURN_NOT_OK(users.status());
+      std::shared_ptr<TrajectorySet> shard_users = std::move(*users);
+      if (shard_users->size() != manifest.shards[s].user_count) {
+        return Status::InvalidArgument("checkpoint shard user count mismatch");
+      }
+      auto tree = LoadTQTree(
+          storage::CheckpointShardTreePath(checkpoint_dir,
+                                           static_cast<uint32_t>(s)),
+          shard_users.get());
+      TQ_RETURN_NOT_OK(tree.status());
+      state->tree = std::shared_ptr<TQTree>(std::move(*tree));
+      state->eval = std::make_shared<ServiceEvaluator>(shard_users.get(),
+                                                       options_.tree.model);
+      state->users = std::move(shard_users);
+    } else {
+      // Non-owned shards mirror a live worker: empty set, empty tree, an
+      // exact 0.0 contribution to every sum.
+      auto shard_users = std::make_shared<TrajectorySet>();
+      auto tree = std::make_shared<TQTree>(shard_users.get(), options_.tree);
+      tree->BuildAllZIndexes();
+      state->tree = std::move(tree);
+      state->eval = std::make_shared<ServiceEvaluator>(shard_users.get(),
+                                                       options_.tree.model);
+      state->users = std::move(shard_users);
+    }
+    snap->shards.push_back(std::move(state));
+  }
+  Publish(std::move(snap), n);
+  recovery_info_.durable = true;
+  recovery_info_.recovered = true;
+  recovery_info_.checkpoint_lsn = manifest.lsn;
+
+  // Redo: replay every WAL record past the checkpoint through the normal
+  // update path. LSNs are dense (one record per publish), so replay asserts
+  // exact version continuity — a gap means lost records, a hard error.
+  storage::WalReplayStats stats;
+  Status replayed = storage::ReplayWal(
+      storage::WalDir(options_.durability.data_dir), manifest.lsn,
+      [this](uint64_t lsn, std::string_view payload) -> Status {
+        UpdateBatch batch;
+        TQ_RETURN_NOT_OK(
+            net::DecodeUpdateBody(payload, &batch.inserts, &batch.removes));
+        const uint64_t version = snapshot()->version;
+        if (lsn != version + 1) {
+          return Status::IOError("WAL gap: record " + std::to_string(lsn) +
+                                 " after version " + std::to_string(version));
+        }
+        ApplyUpdatesImpl(batch, /*log_to_wal=*/false);
+        return Status::OK();
+      },
+      &stats);
+  TQ_RETURN_NOT_OK(replayed);
+  metrics_.AddWalReplayed(stats.records);
+  recovery_info_.last_lsn = snapshot()->version;
+  recovery_info_.replayed_batches = stats.records;
+  recovery_info_.replayed_bytes = stats.bytes;
+  recovery_info_.wal_torn_tail = stats.torn_tail;
+
+  StartDurability(snapshot()->version + 1, /*initial_checkpoint=*/false);
+  return Status::OK();
+}
+
+void ShardedEngine::StartDurability(uint64_t next_lsn,
+                                    bool initial_checkpoint) {
+  durability_ = std::make_unique<storage::DurabilityManager>(
+      options_.durability, [this] { return WriteCheckpointImpl(); },
+      [this](uint64_t lsn) { return CompactShards(lsn); }, &metrics_,
+      &tracer_);
+  const Status started = durability_->Start(next_lsn);
+  TQ_CHECK_MSG(started.ok(), started.message().c_str());
+  if (initial_checkpoint) {
+    const auto stats = durability_->CheckpointNow();
+    TQ_CHECK_MSG(stats.ok(), stats.status().message().c_str());
+  }
+}
+
+Status ShardedEngine::Checkpoint() {
+  if (!durability_) {
+    return Status::Unimplemented("engine has no durability subsystem");
+  }
+  return durability_->CheckpointNow().status();
+}
+
+storage::RecoveryInfo ShardedEngine::recovery_info() const {
+  storage::RecoveryInfo info = recovery_info_;
+  if (durability_) {
+    const uint64_t lsn = durability_->last_checkpoint_lsn();
+    if (lsn != 0) info.checkpoint_lsn = lsn;
+    info.last_lsn = snapshot_version();
+  }
+  return info;
+}
+
+Result<uint64_t> ShardedEngine::WriteCheckpointImpl() {
+  // Capture (snapshot, registry, logical counts) as one consistent cut:
+  // publishes happen under writer_mu_, so holding it pins all three at the
+  // same LSN. The capture is O(users) copies; the expensive streaming below
+  // runs OFF the lock, with the snapshot shared_ptr keeping every shard
+  // tree alive while writers move on.
+  ShardedSnapshotPtr snap;
+  std::vector<UserLocation> registry;
+  std::vector<uint32_t> counts;
+  {
+    std::lock_guard<std::mutex> writer_lock(writer_mu_);
+    snap = snapshot();
+    {
+      std::lock_guard<std::mutex> reg_lock(registry_mu_);
+      registry = users_;
+    }
+    counts = shard_user_counts_;
+  }
+
+  auto writer = storage::CheckpointWriter::Begin(
+      options_.durability.data_dir, snap->version);
+  TQ_RETURN_NOT_OK(writer.status());
+  TQ_RETURN_NOT_OK((*writer)->WriteFacilities(*snap->facilities));
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  entries.reserve(registry.size());
+  for (const UserLocation& loc : registry) {
+    entries.emplace_back(loc.shard, loc.local_id);
+  }
+  TQ_RETURN_NOT_OK((*writer)->WriteRegistry(entries));
+
+  const size_t n = snap->shards.size();
+  storage::CheckpointManifest manifest;
+  manifest.lsn = snap->version;
+  manifest.users_total = registry.size();
+  manifest.geometry_hash = TQTreeGeometryHash(options_.tree, router_.world());
+  manifest.world = router_.world();
+  manifest.splits = router_.splits();
+  manifest.shards.resize(n);
+  for (size_t s = 0; s < n; ++s) {
+    manifest.shards[s].generation = snap->shards[s]->generation;
+    manifest.shards[s].user_count = counts[s];
+    manifest.shards[s].has_tree = Owns(s);
+    if (Owns(s)) {
+      TQ_RETURN_NOT_OK((*writer)->WriteShard(static_cast<uint32_t>(s),
+                                             *snap->shards[s]->users,
+                                             *snap->shards[s]->tree));
+    }
+  }
+  TQ_RETURN_NOT_OK((*writer)->Commit(manifest));
+  return snap->version;
+}
+
+uint64_t ShardedEngine::CompactShards(uint64_t /*lsn*/) {
+  // Round-trip each owned shard tree through the snapshot codec into fresh
+  // dense pages. NEVER rebuild from the user set: the codec restores the
+  // stored structure (node geometry, entries, split history) so query
+  // answers stay bit-identical; only upper/aggregate BOUNDS are re-derived,
+  // and the prune-threshold proof makes bounds answer-neutral.
+  uint64_t reclaimed = 0;
+  const ShardedSnapshotPtr captured = snapshot();
+  for (size_t s = owned_begin_; s < owned_end_; ++s) {
+    const ShardStatePtr old_state = captured->shards[s];
+    std::string buf;
+    StringSnapshotSink sink(&buf);
+    if (!WriteTQTreeSnapshot(*old_state->tree, &sink).ok()) continue;
+    StringSnapshotSource source(buf);
+    auto fresh = ReadTQTreeSnapshot(&source, old_state->users.get());
+    if (!fresh.ok()) continue;
+
+    // Swap only if the shard has not republished meanwhile: same version,
+    // same generation, same users/eval — readers and the result cache
+    // cannot tell, and the recovery LSN sequence is untouched. A racing
+    // publish wins by pointer inequality (its fork replaced the chain we
+    // compacted anyway).
+    std::lock_guard<std::mutex> writer_lock(writer_mu_);
+    const ShardedSnapshotPtr live = snapshot();
+    if (live->shards[s] != old_state) continue;
+    auto state = std::make_shared<ShardState>(*old_state);
+    state->tree = std::shared_ptr<TQTree>(std::move(*fresh));
+    auto next = std::make_shared<ShardedSnapshot>(*live);
+    next->shards[s] = std::move(state);
+    {
+      std::lock_guard<std::mutex> snap_lock(snapshot_mu_);
+      snapshot_ = std::move(next);
+    }
+    // The live snapshot dropped its references to the old tree's pages (the
+    // tail of the fork chain it pinned).
+    reclaimed += old_state->tree->num_pages();
+  }
+  return reclaimed;
+}
 
 void ShardedEngine::Publish(ShardedSnapshotPtr snap,
                             uint64_t shards_republished) {
@@ -794,6 +1093,11 @@ void ShardedEngine::TopKBoundSweepAsync(size_t k, BoundSweepCallback done) {
 }
 
 std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
+  return ApplyUpdatesImpl(batch, /*log_to_wal=*/true);
+}
+
+std::vector<uint32_t> ShardedEngine::ApplyUpdatesImpl(const UpdateBatch& batch,
+                                                      bool log_to_wal) {
   std::lock_guard<std::mutex> writer_lock(writer_mu_);
   const auto publish_start = std::chrono::steady_clock::now();
   const ShardedSnapshotPtr cur = snapshot();
@@ -876,6 +1180,19 @@ std::vector<uint32_t> ShardedEngine::ApplyUpdates(const UpdateBatch& batch) {
     next->shards[s] = std::move(state);
     touched_shards.push_back(static_cast<uint32_t>(s));
   }
+  // Write-ahead: the batch is logged (and, under --wal-sync=always, on the
+  // platter) BEFORE its snapshot becomes visible, so every observable state
+  // is "checkpoint + replayed WAL prefix". Replay passes log_to_wal=false —
+  // its records are already the log. A failed append is fail-stop:
+  // ApplyUpdates has no error channel, and publishing an unlogged batch
+  // would silently void the recovery contract.
+  if (durability_ != nullptr && log_to_wal) {
+    std::string payload;
+    net::EncodeUpdateBody(batch.inserts, batch.removes, &payload);
+    const Status logged = durability_->Append(next->version, payload);
+    TQ_CHECK_MSG(logged.ok(), logged.message().c_str());
+  }
+
   // One cache pass for the whole batch, however many shards it republished.
   const size_t invalidated =
       cache_.InvalidateShardsBefore(touched_shards, next->version);

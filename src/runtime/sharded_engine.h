@@ -74,6 +74,8 @@
 #include "runtime/shard_router.h"
 #include "runtime/thread_pool.h"
 #include "runtime/trace.h"
+#include "storage/checkpoint.h"
+#include "storage/durability.h"
 
 namespace tq::runtime {
 
@@ -117,6 +119,11 @@ struct ShardedEngineOptions {
   /// (0, 0) means "own everything" (the single-process default).
   uint32_t owned_begin = 0;
   uint32_t owned_end = 0;
+  /// Durability subsystem configuration (storage/durability.h). With a
+  /// non-empty data_dir the constructor demands a VIRGIN directory (recover
+  /// existing state with ShardedEngine::Recover instead), writes an initial
+  /// checkpoint, and WAL-logs every ApplyUpdates batch before publishing it.
+  storage::DurabilityOptions durability;
   /// TQ-tree construction parameters (the service model lives here).
   TQTreeOptions tree;
 };
@@ -154,7 +161,21 @@ class ShardedEngine : public ServingEngine {
  public:
   ShardedEngine(TrajectorySet users, TrajectorySet facilities,
                 ShardedEngineOptions options);
-  /// Drains in-flight scatter tasks, then joins the worker pool.
+
+  /// Rebuilds an engine from `options.durability.data_dir`: loads the
+  /// current checkpoint (geometry, facilities, registry, owned shard trees),
+  /// replays the WAL records after its LSN through the normal update path,
+  /// and resumes logging — the recovered engine is bit-identical to the
+  /// SIGKILL'd one, including snapshot version and per-shard generations.
+  /// `options.tree` must match the checkpoint's geometry hash;
+  /// `options.num_shards` is taken from the manifest. kNotFound when the
+  /// data dir has no committed checkpoint (callers fall back to the
+  /// constructor for a first boot).
+  static Result<std::unique_ptr<ShardedEngine>> Recover(
+      ShardedEngineOptions options);
+
+  /// Stops the checkpointer, drains in-flight scatter tasks, then joins the
+  /// worker pool.
   ~ShardedEngine() override;
 
   ShardedEngine(const ShardedEngine&) = delete;
@@ -241,8 +262,32 @@ class ShardedEngine : public ServingEngine {
   /// are never blocked.
   std::vector<uint32_t> ApplyUpdates(const UpdateBatch& batch) override;
 
+  /// Forces one synchronous checkpoint → WAL-trim → compaction cycle
+  /// (storage::DurabilityManager::CheckpointNow). kUnimplemented without a
+  /// data dir.
+  Status Checkpoint() override;
+  /// What recovery did at startup; checkpoint_lsn and last_lsn track the
+  /// live subsystem state, the replay fields are frozen at construction.
+  storage::RecoveryInfo recovery_info() const override;
+
  private:
   struct GatherState;
+  struct RecoverTag {};
+
+  /// Recovery shell: adopts the manifest's partition geometry (world +
+  /// splits) and resolves the owned range, but loads no state — RecoverFrom
+  /// does that next.
+  ShardedEngine(RecoverTag, ShardedEngineOptions options,
+                const storage::CheckpointManifest& manifest);
+  /// Loads registry + shard states from `checkpoint_dir` and replays the
+  /// WAL; only Recover calls this, before the engine is visible to anyone.
+  Status RecoverFrom(const std::string& checkpoint_dir,
+                     const storage::CheckpointManifest& manifest);
+  /// Creates the DurabilityManager and opens the WAL at `next_lsn`;
+  /// `initial_checkpoint` additionally writes the first checkpoint (fresh
+  /// durable start). Crashes the process on failure — a durable engine that
+  /// cannot log is misconfigured, not degraded.
+  void StartDurability(uint64_t next_lsn, bool initial_checkpoint);
 
   /// Per-shard task entry points. `post_ns` is the Post() timestamp of the
   /// task (0 when the query is untraced) — the queue-wait span.
@@ -277,6 +322,22 @@ class ShardedEngine : public ServingEngine {
                            QueryStats* stats, bool* cache_hit);
   void Publish(ShardedSnapshotPtr snap, uint64_t shards_republished);
 
+  /// ApplyUpdates body. `log_to_wal` is false only during WAL replay (the
+  /// records being applied are already on disk).
+  std::vector<uint32_t> ApplyUpdatesImpl(const UpdateBatch& batch,
+                                         bool log_to_wal);
+  /// DurabilityManager's WriteCheckpointFn: captures (snapshot, registry,
+  /// logical counts) consistently under writer_mu_, then streams everything
+  /// into a CheckpointWriter OFF the lock — the snapshot shared_ptr pins the
+  /// trees while writers keep publishing. Returns the captured LSN.
+  Result<uint64_t> WriteCheckpointImpl();
+  /// DurabilityManager's CompactFn: round-trips each owned shard tree
+  /// through the snapshot codec into fresh dense pages and swaps it in at
+  /// the SAME version + generation (answers, cache keys, and the recovery
+  /// LSN sequence are all unchanged — only the page backing is). Returns
+  /// node pages the live snapshot stopped pinning.
+  uint64_t CompactShards(uint64_t lsn);
+
   ShardedEngineOptions options_;
   /// Resolved owned range ((0,0) in options = own all shards).
   uint32_t owned_begin_ = 0;
@@ -299,6 +360,12 @@ class ShardedEngine : public ServingEngine {
   /// every worker and the single process. Written in the constructor and
   /// under writer_mu_ only.
   std::vector<uint32_t> shard_user_counts_;
+
+  /// Frozen at construction (replay fields); see recovery_info().
+  storage::RecoveryInfo recovery_info_;
+  /// Null without a data dir. The destructor Stop()s it before members are
+  /// torn down — its closures touch everything above.
+  std::unique_ptr<storage::DurabilityManager> durability_;
 
   ThreadPool pool_;  // last member: joins before the rest is torn down
 };

@@ -1,0 +1,355 @@
+#include "storage/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/crc32c.h"
+
+namespace tq::storage {
+
+namespace {
+
+constexpr size_t kRecordHeaderBytes = 8;   // u32 len + u32 crc
+constexpr size_t kLsnBytes = 8;
+/// A length field above this is treated as damage, not an allocation order.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+std::string SegmentName(uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%016" PRIx64 ".log", first_lsn);
+  return buf;
+}
+
+bool ParseSegmentName(const char* name, uint64_t* first_lsn) {
+  unsigned long long lsn = 0;  // NOLINT(runtime/int)
+  int consumed = 0;
+  if (std::sscanf(name, "wal-%16llx.log%n", &lsn, &consumed) != 1 ||
+      name[consumed] != '\0') {
+    return false;
+  }
+  *first_lsn = lsn;
+  return true;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+Status IOErr(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// fsyncs the directory itself so entry creation/removal is durable.
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IOErr("cannot open directory", dir);
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return IOErr("cannot fsync directory", dir);
+  return Status::OK();
+}
+
+/// Scans one segment's records. Delivers every CRC-valid record through `fn`
+/// (which may be null) and reports the byte length of the valid prefix. A
+/// short or CRC-failing record ends the scan with *torn = true; bytes after
+/// it are unreachable by construction (appends are sequential), so they are
+/// never inspected.
+Status ScanSegment(
+    const std::string& path,
+    const std::function<Status(uint64_t, std::string_view)>& fn,
+    uint64_t* valid_bytes, bool* torn) {
+  *valid_bytes = 0;
+  *torn = false;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IOErr("cannot open WAL segment", path);
+  std::string buf;
+  Status st = Status::OK();
+  for (;;) {
+    char header[kRecordHeaderBytes];
+    const size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0 && std::feof(f)) break;  // clean end
+    if (got < sizeof(header)) {
+      *torn = true;
+      break;
+    }
+    const uint32_t len = GetU32(header);
+    const uint32_t crc = GetU32(header + 4);
+    if (len > kMaxRecordPayload) {
+      *torn = true;
+      break;
+    }
+    buf.resize(kLsnBytes + len);
+    if (std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+      *torn = true;
+      break;
+    }
+    if (Crc32c(buf.data(), buf.size()) != crc) {
+      *torn = true;
+      break;
+    }
+    const uint64_t lsn = GetU64(buf.data());
+    if (fn) {
+      st = fn(lsn, std::string_view(buf).substr(kLsnBytes));
+      if (!st.ok()) break;
+    }
+    *valid_bytes += kRecordHeaderBytes + buf.size();
+  }
+  std::fclose(f);
+  return st;
+}
+
+}  // namespace
+
+bool ParseWalSync(std::string_view text, WalSync* out) {
+  if (text == "always") {
+    *out = WalSync::kAlways;
+  } else if (text == "batch") {
+    *out = WalSync::kBatch;
+  } else if (text == "off") {
+    *out = WalSync::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* WalSyncName(WalSync sync) {
+  switch (sync) {
+    case WalSync::kAlways: return "always";
+    case WalSync::kBatch: return "batch";
+    case WalSync::kOff: return "off";
+  }
+  return "unknown";
+}
+
+Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir) {
+  std::vector<WalSegmentInfo> segments;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return segments;  // no WAL yet
+    return IOErr("cannot list WAL directory", dir);
+  }
+  while (struct dirent* e = ::readdir(d)) {
+    uint64_t first_lsn = 0;
+    if (!ParseSegmentName(e->d_name, &first_lsn)) continue;
+    WalSegmentInfo info;
+    info.path = dir + "/" + e->d_name;
+    info.first_lsn = first_lsn;
+    struct stat st{};
+    if (::stat(info.path.c_str(), &st) == 0) {
+      info.bytes = static_cast<uint64_t>(st.st_size);
+    }
+    segments.push_back(std::move(info));
+  }
+  ::closedir(d);
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegmentInfo& a, const WalSegmentInfo& b) {
+              return a.first_lsn < b.first_lsn;
+            });
+  return segments;
+}
+
+Status ReplayWal(
+    const std::string& dir, uint64_t after_lsn,
+    const std::function<Status(uint64_t lsn, std::string_view payload)>& fn,
+    WalReplayStats* stats) {
+  *stats = WalReplayStats{};
+  auto segments = ListWalSegments(dir);
+  TQ_RETURN_NOT_OK(segments.status());
+  for (size_t i = 0; i < segments->size(); ++i) {
+    const WalSegmentInfo& seg = (*segments)[i];
+    const bool last = i + 1 == segments->size();
+    // A segment whose successor starts at or below the replay floor holds
+    // only covered records — skip it without reading.
+    if (!last && (*segments)[i + 1].first_lsn <= after_lsn + 1) continue;
+    uint64_t valid_bytes = 0;
+    bool torn = false;
+    TQ_RETURN_NOT_OK(ScanSegment(
+        seg.path,
+        [&](uint64_t lsn, std::string_view payload) {
+          if (lsn <= after_lsn) return Status::OK();
+          Status st = fn(lsn, payload);
+          if (st.ok()) {
+            stats->records++;
+            stats->bytes += payload.size();
+            stats->last_lsn = lsn;
+          }
+          return st;
+        },
+        &valid_bytes, &torn));
+    if (torn) {
+      if (!last) {
+        return Status::IOError("WAL corruption in non-final segment " +
+                               seg.path + " (valid prefix " +
+                               std::to_string(valid_bytes) + " of " +
+                               std::to_string(seg.bytes) + " bytes)");
+      }
+      stats->torn_tail = true;
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> TrimWalSegments(const std::string& dir, uint64_t keep_lsn) {
+  auto segments = ListWalSegments(dir);
+  TQ_RETURN_NOT_OK(segments.status());
+  uint64_t reclaimed = 0;
+  bool removed_any = false;
+  for (size_t i = 0; i + 1 < segments->size(); ++i) {
+    // All of segment i's records precede segment i+1's first LSN; LSNs are
+    // dense, so "next starts at keep_lsn + 1 or earlier" means everything
+    // in segment i is checkpoint-covered.
+    if ((*segments)[i + 1].first_lsn > keep_lsn + 1) break;
+    const WalSegmentInfo& seg = (*segments)[i];
+    if (::unlink(seg.path.c_str()) != 0) {
+      return IOErr("cannot remove WAL segment", seg.path);
+    }
+    reclaimed += seg.bytes;
+    removed_any = true;
+  }
+  if (removed_any) TQ_RETURN_NOT_OK(SyncDir(dir));
+  return reclaimed;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& dir,
+                                                   uint64_t next_lsn,
+                                                   WalOptions options) {
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return IOErr("cannot create WAL directory", dir);
+  }
+  auto writer = std::unique_ptr<WalWriter>(new WalWriter(dir, options));
+  auto segments = ListWalSegments(dir);
+  TQ_RETURN_NOT_OK(segments.status());
+  if (segments->empty()) {
+    TQ_RETURN_NOT_OK(writer->OpenSegmentLocked(next_lsn, /*create=*/true));
+    TQ_RETURN_NOT_OK(SyncDir(dir));
+    return writer;
+  }
+  // Truncate the torn tail a crash may have left in the last segment, then
+  // keep appending to it — this is what preserves the "only the last
+  // segment can ever be torn" replay invariant across repeated crashes.
+  const WalSegmentInfo& last = segments->back();
+  uint64_t valid_bytes = 0;
+  bool torn = false;
+  TQ_RETURN_NOT_OK(ScanSegment(last.path, nullptr, &valid_bytes, &torn));
+  if (torn) {
+    if (::truncate(last.path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+      return IOErr("cannot truncate torn WAL tail of", last.path);
+    }
+    const int fd = ::open(last.path.c_str(), O_WRONLY);
+    if (fd < 0) return IOErr("cannot reopen WAL segment", last.path);
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced) return IOErr("cannot fsync truncated WAL segment", last.path);
+  }
+  writer->segment_path_ = last.path;
+  writer->segment_bytes_ = valid_bytes;
+  writer->fd_ = ::open(last.path.c_str(), O_WRONLY | O_APPEND);
+  if (writer->fd_ < 0) return IOErr("cannot append to WAL segment", last.path);
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    if (dirty_ && options_.sync != WalSync::kOff) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Status WalWriter::OpenSegmentLocked(uint64_t lsn, bool create) {
+  if (fd_ >= 0) {
+    if (dirty_ && options_.sync != WalSync::kOff) {
+      if (::fsync(fd_) != 0) return IOErr("cannot fsync", segment_path_);
+      dirty_ = false;
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+  segment_path_ = dir_ + "/" + SegmentName(lsn);
+  const int flags = O_WRONLY | O_APPEND | (create ? O_CREAT | O_TRUNC : 0);
+  fd_ = ::open(segment_path_.c_str(), flags, 0666);
+  if (fd_ < 0) return IOErr("cannot open WAL segment", segment_path_);
+  segment_bytes_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Append(uint64_t lsn, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::Internal("WAL writer is closed");
+  if (segment_bytes_ >= options_.segment_bytes) {
+    TQ_RETURN_NOT_OK(OpenSegmentLocked(lsn, /*create=*/true));
+    TQ_RETURN_NOT_OK(SyncDir(dir_));
+  }
+  std::string record;
+  record.reserve(kRecordHeaderBytes + kLsnBytes + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, 0);  // crc, patched below
+  char lsn_bytes[kLsnBytes];
+  for (size_t i = 0; i < kLsnBytes; ++i) {
+    lsn_bytes[i] = static_cast<char>(lsn >> (8 * i));
+  }
+  record.append(lsn_bytes, kLsnBytes);
+  record.append(payload);
+  const uint32_t crc =
+      Crc32cExtend(Crc32c(lsn_bytes, kLsnBytes), payload.data(),
+                   payload.size());
+  record[4] = static_cast<char>(crc);
+  record[5] = static_cast<char>(crc >> 8);
+  record[6] = static_cast<char>(crc >> 16);
+  record[7] = static_cast<char>(crc >> 24);
+
+  // One write() per record: either the whole record lands or the tail is
+  // torn — replay handles both. (A short write leaves a torn tail exactly
+  // like a crash would; report it and let the caller fail the batch.)
+  size_t off = 0;
+  while (off < record.size()) {
+    const ssize_t n = ::write(fd_, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IOErr("WAL append failed on", segment_path_);
+    }
+    off += static_cast<size_t>(n);
+  }
+  segment_bytes_ += record.size();
+  bytes_appended_ += record.size();
+  dirty_ = true;
+  if (options_.sync == WalSync::kAlways) {
+    if (::fsync(fd_) != 0) return IOErr("cannot fsync", segment_path_);
+    dirty_ = false;
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0 || !dirty_) return Status::OK();
+  if (::fsync(fd_) != 0) return IOErr("cannot fsync", segment_path_);
+  dirty_ = false;
+  return Status::OK();
+}
+
+}  // namespace tq::storage

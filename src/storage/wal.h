@@ -1,0 +1,147 @@
+// Write-ahead log of update batches: the redo side of the durability pair
+// (storage/checkpoint.h is the base-image side).
+//
+// The sharded engine appends one record per write batch, under its writer
+// lock, BEFORE publishing the batch's snapshot — so every state a reader can
+// ever observe is reconstructible as "checkpoint + replayed WAL prefix".
+// The payload is the batch's kUpdate request body (net/protocol.h
+// EncodeUpdateBody): the one encoding the wire, the log, and replay share.
+//
+// Record framing, little-endian:
+//
+//   [u32 payload_len][u32 crc32c(lsn || payload)][u64 lsn][payload]
+//
+// The LSN is the engine snapshot version the batch publishes (versions start
+// at 1 and each batch increments by exactly 1, so LSNs are dense and replay
+// can assert generation continuity). Records live in segment files named
+//
+//   wal-<first lsn, %016llx>.log
+//
+// rotated once a segment exceeds WalOptions::segment_bytes. Checkpoints trim
+// segments whose records are all covered (TrimWalSegments).
+//
+// Crash tolerance: a SIGKILL can tear at most the tail of the LAST segment
+// (appends are sequential; earlier segments are immutable once rotated, and
+// WalWriter::Open truncates any torn tail before appending again — so the
+// "only the last segment may be torn" invariant survives repeated crashes).
+// Replay therefore treats a short or CRC-failing record in the last segment
+// as the end of the log, but the same damage in an earlier segment as data
+// corruption — a hard error, never a silent skip.
+#ifndef TQCOVER_STORAGE_WAL_H_
+#define TQCOVER_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tq::storage {
+
+/// When an appended record reaches the platter.
+enum class WalSync : uint8_t {
+  /// fsync after every Append — a batch is durable before it is published
+  /// (and before the client's update response is sent).
+  kAlways = 0,
+  /// fsync on the durability manager's background tick — bounded data loss
+  /// (one tick) for near-zero publish overhead.
+  kBatch = 1,
+  /// Never fsync — the OS page cache decides. Survives process death, not
+  /// power loss. For benchmarks and bulk loads.
+  kOff = 2,
+};
+
+/// Parses "always" / "batch" / "off" (the --wal-sync CLI values).
+bool ParseWalSync(std::string_view text, WalSync* out);
+const char* WalSyncName(WalSync sync);
+
+struct WalOptions {
+  WalSync sync = WalSync::kAlways;
+  /// Rotate to a fresh segment once the current one exceeds this.
+  uint64_t segment_bytes = 64ull << 20;
+};
+
+/// One WAL segment on disk, by ascending first LSN.
+struct WalSegmentInfo {
+  std::string path;
+  uint64_t first_lsn = 0;
+  uint64_t bytes = 0;
+};
+
+/// Lists `dir`'s wal-*.log segments sorted by first LSN. A missing directory
+/// lists as empty (a fresh data dir has no WAL yet).
+Result<std::vector<WalSegmentInfo>> ListWalSegments(const std::string& dir);
+
+/// Cumulative replay outcome.
+struct WalReplayStats {
+  uint64_t records = 0;        // records delivered (lsn > after_lsn)
+  uint64_t bytes = 0;          // payload bytes delivered
+  uint64_t last_lsn = 0;       // highest LSN delivered (0 = none)
+  bool torn_tail = false;      // last segment ended in a partial record
+};
+
+/// Replays every record with lsn > after_lsn, in LSN order, through `fn`.
+/// Stops with `fn`'s status on the first non-OK return. A torn tail in the
+/// last segment ends replay cleanly (stats->torn_tail); the same damage in
+/// any earlier segment returns kIOError.
+Status ReplayWal(
+    const std::string& dir, uint64_t after_lsn,
+    const std::function<Status(uint64_t lsn, std::string_view payload)>& fn,
+    WalReplayStats* stats);
+
+/// Deletes segments whose records are ALL at or below `keep_lsn` (decided by
+/// the next segment's first LSN; the active last segment is never deleted).
+/// Returns the bytes reclaimed.
+Result<uint64_t> TrimWalSegments(const std::string& dir, uint64_t keep_lsn);
+
+/// Appender. Thread-safe (internal mutex: the engine appends under its
+/// writer lock while the durability manager's background tick may Sync()).
+class WalWriter {
+ public:
+  /// Opens `dir` (created if missing) for appending records starting at
+  /// `next_lsn`. Truncates a torn tail left in the last segment by a crash,
+  /// then continues appending to it (or starts wal-<next_lsn> if none).
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& dir,
+                                                 uint64_t next_lsn,
+                                                 WalOptions options);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; with WalSync::kAlways the record is on disk when
+  /// this returns. LSNs must be passed in ascending order.
+  Status Append(uint64_t lsn, std::string_view payload);
+
+  /// Flushes appended-but-unsynced records (the kBatch tick; a no-op when
+  /// nothing is pending).
+  Status Sync();
+
+  const std::string& dir() const { return dir_; }
+  /// Total record bytes appended through this writer (for wal_bytes).
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  WalWriter(std::string dir, WalOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  /// Opens (or creates) the segment whose first record will be `lsn`.
+  Status OpenSegmentLocked(uint64_t lsn, bool create);
+
+  std::string dir_;
+  WalOptions options_;
+  std::mutex mu_;
+  int fd_ = -1;
+  std::string segment_path_;
+  uint64_t segment_bytes_ = 0;    // current segment size
+  uint64_t bytes_appended_ = 0;
+  bool dirty_ = false;            // bytes written since the last fsync
+};
+
+}  // namespace tq::storage
+
+#endif  // TQCOVER_STORAGE_WAL_H_

@@ -38,6 +38,8 @@
 #include "runtime/engine.h"
 #include "runtime/remote_shard_set.h"
 #include "runtime/sharded_engine.h"
+#include "storage/checkpoint.h"
+#include "storage/wal.h"
 #include "tqtree/serialize.h"
 #include "traj/io.h"
 #include "traj/stats.h"
@@ -79,6 +81,10 @@ int Usage() {
       "           [--facility-range 8]   # drive sync traffic at a server\n"
       "           [--dump FILE]  # write every answer as hex-float lines\n"
       "                          # (byte-diffable across processes)\n"
+      "           [--updates N [--update-size 4] [--update-removes 0]\n"
+      "            [--update-remove-start 0]]  # N acked kUpdate frames\n"
+      "                          # first: synthetic inserts + sequential\n"
+      "                          # id removes (crash-recovery CI traffic)\n"
       "  status   HOST:PORT     # a serving process's identity, and (on a\n"
       "           coordinator) the per-worker liveness/RTT table\n"
       "  topk     --users FILE --facilities FILE [--k 8] [--psi 200]\n"
@@ -102,6 +108,12 @@ int Usage() {
       "           [--worker LO:HI]  # with --listen and --shards N: own only\n"
       "                         # the Z-order shard range [LO, HI) of the\n"
       "                         # N-way partition (a shard-worker process)\n"
+      "           [--data-dir DIR]  # durable serving: WAL every update\n"
+      "                         # batch, recover from DIR's checkpoint on\n"
+      "                         # restart (docs/DURABILITY.md)\n"
+      "           [--wal-sync always|batch|off] [--checkpoint-interval-ms 0]\n"
+      "           [--compact 1]  # round-trip shard trees into fresh dense\n"
+      "                          # pages after each checkpoint\n"
       "  serve    --coordinator --workers HOST:PORT,... --listen PORT\n"
       "           [--rpc-timeout-ms 2000] [--heartbeat-ms 1000]\n"
       "           [--heartbeat-timeout-ms 5000] [--prune 1]\n"
@@ -287,8 +299,22 @@ int CmdStatusNet(const Args& args) {
                   static_cast<double>(w.rtt_p99_ns) / 1e6);
     }
   }
+  const tq::net::WireDurability& d = resp.durability;
+  if (d.durable()) {
+    std::printf("durability: checkpoint lsn %llu, last lsn %llu%s",
+                static_cast<unsigned long long>(d.checkpoint_lsn),
+                static_cast<unsigned long long>(d.last_lsn),
+                d.recovered() ? ", recovered" : "");
+    if (d.recovered()) {
+      std::printf(" (%llu batches replayed in %.3f ms%s)",
+                  static_cast<unsigned long long>(d.replayed_batches),
+                  static_cast<double>(d.recovery_ns) / 1e6,
+                  d.wal_torn_tail() ? ", torn tail truncated" : "");
+    }
+    std::printf("\n");
+  }
   std::printf("# json: %s\n",
-              tq::net::WireStatusToJson(self, resp.workers).c_str());
+              tq::net::WireStatusToJson(self, resp.workers, d).c_str());
   return 0;
 }
 
@@ -317,6 +343,49 @@ int CmdQuery(const Args& args) {
                    dump_path.c_str());
       return 1;
     }
+  }
+  // Acked write traffic first: each frame inserts deterministic synthetic
+  // trajectories and/or removes sequential global ids, and the response is
+  // awaited — against a durable server every acknowledged batch is in the
+  // WAL, which is exactly what the CI crash-recovery gate leans on.
+  const size_t updates = args.GetSize("updates", 0);
+  const size_t update_size =
+      std::max<size_t>(1, args.GetSize("update-size", 4));
+  const size_t update_removes = args.GetSize("update-removes", 0);
+  auto next_remove =
+      static_cast<uint32_t>(args.GetSize("update-remove-start", 0));
+  size_t inserted = 0, removed = 0;
+  for (size_t u = 0; u < updates; ++u) {
+    std::vector<std::vector<tq::Point>> inserts;
+    for (size_t t = 0; t < update_size; ++t) {
+      const auto base = static_cast<double>(u * update_size + t);
+      std::vector<tq::Point> traj;
+      for (size_t p = 0; p < 4; ++p) {
+        traj.push_back(tq::Point{base * 97.0 + static_cast<double>(p) * 13.0,
+                                 base * 61.0 + static_cast<double>(p) * 7.0});
+      }
+      inserts.push_back(std::move(traj));
+    }
+    std::vector<uint32_t> removes;
+    for (size_t r = 0; r < update_removes; ++r) {
+      removes.push_back(next_remove++);
+    }
+    tq::net::NetResponse resp;
+    const Status st = client.Update(std::move(inserts), std::move(removes),
+                                    &resp);
+    if (!st.ok() || !resp.status.ok()) {
+      std::fprintf(stderr, "update %zu: %s\n", u,
+                   (st.ok() ? resp.status : st).ToString().c_str());
+      if (dump != nullptr) std::fclose(dump);
+      return 1;
+    }
+    inserted += resp.assigned_ids.size();
+    removed += update_removes;
+  }
+  if (updates > 0) {
+    std::printf("applied %zu acked update batches (%zu inserts, "
+                "%zu removes)\n",
+                updates, inserted, removed);
   }
   double checksum = 0.0;
   size_t sum_errors = 0;
@@ -704,23 +773,50 @@ int RunCoordinator(const Args& args) {
 // --shards N > 1 serves through the sharded scatter/gather engine.
 int CmdServe(const Args& args) {
   if (args.kv.count("coordinator") != 0) return RunCoordinator(args);
-  tq::TrajectorySet users, facilities;
-  Status st = LoadSet(args.Get("users"), &users);
-  if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
-  if (!st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (facilities.empty()) {
-    std::fprintf(stderr, "serve: facility set is empty\n");
-    return 1;
-  }
   const size_t num_threads = std::max<size_t>(1, args.GetSize("threads", 4));
   const size_t cache_capacity = args.GetSize("cache", 4096);
   const size_t num_shards = std::max<size_t>(1, args.GetSize("shards", 1));
   tq::TQTreeOptions tree;
   tree.beta = args.GetSize("beta", 64);
   tree.model = ModelFromArgs(args);
+
+  // --data-dir DIR: durable serving (WAL + background checkpoints). When
+  // the dir already holds a committed checkpoint the engine recovers from
+  // it — the --users/--facilities files are not even opened; the checkpoint
+  // is self-contained (partition geometry included, so shard workers skip
+  // the full user set entirely).
+  tq::runtime::DurabilityOptions durability;
+  durability.data_dir = args.Get("data-dir");
+  if (!durability.data_dir.empty()) {
+    const std::string sync = args.Get("wal-sync");
+    if (!sync.empty() &&
+        !tq::storage::ParseWalSync(sync, &durability.wal_sync)) {
+      std::fprintf(stderr,
+                   "serve: bad --wal-sync '%s' (want always|batch|off)\n",
+                   sync.c_str());
+      return 2;
+    }
+    durability.checkpoint_interval_ms =
+        args.GetSize("checkpoint-interval-ms", 0);
+    durability.compact_after_checkpoint = args.GetSize("compact", 1) != 0;
+  }
+  const bool recovering =
+      durability.enabled() &&
+      tq::storage::CurrentCheckpointDir(durability.data_dir).ok();
+
+  tq::TrajectorySet users, facilities;
+  if (!recovering) {
+    Status st = LoadSet(args.Get("users"), &users);
+    if (st.ok()) st = LoadSet(args.Get("facilities"), &facilities);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (facilities.empty()) {
+      std::fprintf(stderr, "serve: facility set is empty\n");
+      return 1;
+    }
+  }
 
   const size_t num_users = users.size();
   const size_t num_facilities = facilities.size();
@@ -756,7 +852,7 @@ int CmdServe(const Args& args) {
   tq::TrajectorySet mirror;
   if (!listen && args.GetSize("updates", 0) > 0) mirror = users;
   tq::Timer build_timer;
-  if (num_shards > 1 || listen) {
+  if (num_shards > 1 || listen || durability.enabled()) {
     tq::runtime::ShardedEngineOptions options;
     options.num_shards = num_shards;
     options.num_threads = num_threads;
@@ -765,24 +861,57 @@ int CmdServe(const Args& args) {
     options.prune_skip_ratio = args.GetDouble("prune-skip-ratio", 0.5);
     options.owned_begin = owned_begin;
     options.owned_end = owned_end;
+    options.durability = durability;
     options.tree = tree;
-    tq::runtime::ShardedEngine engine(std::move(users),
-                                      std::move(facilities), options);
+    std::unique_ptr<tq::runtime::ShardedEngine> engine;
+    if (recovering) {
+      auto r = tq::runtime::ShardedEngine::Recover(options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "recover: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      engine = std::move(*r);
+      const tq::runtime::RecoveryInfo rec = engine->recovery_info();
+      std::printf("recovered from %s: checkpoint lsn %llu + %llu WAL "
+                  "batches -> snapshot v%llu%s (%.3f s)\n",
+                  durability.data_dir.c_str(),
+                  static_cast<unsigned long long>(rec.checkpoint_lsn),
+                  static_cast<unsigned long long>(rec.replayed_batches),
+                  static_cast<unsigned long long>(rec.last_lsn),
+                  rec.wal_torn_tail ? " (torn tail truncated)" : "",
+                  static_cast<double>(rec.recovery_ns) / 1e9);
+    } else {
+      engine = std::make_unique<tq::runtime::ShardedEngine>(
+          std::move(users), std::move(facilities), options);
+    }
     if (owned_end != 0) {
       std::printf("shard worker up: owns shards [%u, %u) of %zu over %zu "
                   "users, %zu facilities, %zu threads (built in %.3f s)\n",
-                  owned_begin, owned_end, engine.num_shards(), num_users,
+                  owned_begin, owned_end, engine->num_shards(), num_users,
                   num_facilities, num_threads, build_timer.ElapsedSeconds());
     } else {
       std::printf("sharded engine up: %zu users over %zu shards, "
                   "%zu facilities, %zu threads, top-k %s (built in %.3f s)\n",
-                  num_users, engine.num_shards(), num_facilities, num_threads,
+                  recovering ? engine->NumUsersTotal() : num_users,
+                  engine->num_shards(),
+                  recovering ? engine->snapshot()->catalog->size()
+                             : num_facilities,
+                  num_threads,
                   options.prune_topk ? "bound-and-prune" : "exhaustive",
                   build_timer.ElapsedSeconds());
     }
-    if (listen) return RunListenLoop(engine, args);
-    ArmSlowQueryLog(engine, args);  // engine-owned traces cover this path
-    return RunServeLoop(engine, std::move(mirror), args);
+    if (durability.enabled()) {
+      std::printf("durable: data dir %s, wal-sync %s, checkpoint every "
+                  "%llu ms%s\n",
+                  durability.data_dir.c_str(),
+                  tq::storage::WalSyncName(durability.wal_sync),
+                  static_cast<unsigned long long>(
+                      durability.checkpoint_interval_ms),
+                  durability.compact_after_checkpoint ? ", compacting" : "");
+    }
+    if (listen) return RunListenLoop(*engine, args);
+    ArmSlowQueryLog(*engine, args);  // engine-owned traces cover this path
+    return RunServeLoop(*engine, std::move(mirror), args);
   }
   tq::runtime::EngineOptions options;
   options.num_threads = num_threads;

@@ -18,7 +18,14 @@
 // syscalls — not tree traversal). Emits "# json: net_throughput"; CI gates
 // on requests/sec staying positive at batch 16 so the front-end cannot
 // silently stop serving. Honors REPRO_SCALE / REPRO_FULL (bench_util.h).
+//
+// A second series ("# json: net_backpressure") measures admission control:
+// sustainable throughput is calibrated with synchronous round-trips, then
+// a 2× pipelined burst is offered against max_queued=8 — reporting the
+// shed rate (refused in-protocol with kOverloaded) and the goodput that
+// survived the overload. CI gates shed > 0 and goodput > 0.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -66,6 +73,10 @@ int main() {
   options.cache_capacity = 4096;
   options.tree.beta = env.DefaultBeta();
   options.tree.model = tq::ServiceModel::PointCount(env.DefaultPsi());
+  // Copies for the overload series below, taken before the move: that
+  // engine runs cache-less so its queries do real tree work.
+  tq::TrajectorySet overload_users = users;
+  tq::TrajectorySet overload_routes = routes;
   tq::runtime::ShardedEngine engine(std::move(users), std::move(routes),
                                     options);
   NetServer server(&engine, NetServerOptions{});  // port 0: ephemeral
@@ -242,5 +253,92 @@ int main() {
         r.hist_overhead_pct);
   }
   std::printf("],\"hist_overhead_pct_total\":%.2f}\n", total_overhead_pct);
+
+  // ---- overload / backpressure series ----------------------------------
+  // A fresh cache-less engine (every top-k does real multi-shard work, so
+  // the queue genuinely backs up) behind a server with admission control
+  // armed. Calibrate sustainable throughput with synchronous round-trips
+  // (one frame in flight can never trip max_queued), then offer the whole
+  // 2× budget as one pipelined burst: a deliberate overload. The
+  // interesting outputs are the shed rate (how much was refused
+  // in-protocol) and the goodput (served queries/sec did NOT collapse
+  // under the burst).
+  tq::runtime::ShardedEngineOptions oopts = options;
+  oopts.cache_capacity = 0;
+  oopts.num_threads = 2;
+  tq::runtime::ShardedEngine overload_engine(std::move(overload_users),
+                                             std::move(overload_routes),
+                                             oopts);
+  NetServerOptions overload_options;
+  overload_options.max_queued = 8;
+  NetServer overload_server(&overload_engine, overload_options);
+  TQ_CHECK(overload_server.Start().ok());
+  const uint64_t shed_before = overload_engine.metrics().Read().net_shed;
+
+  double sync_rps = 0.0;
+  {
+    NetClient client;
+    TQ_CHECK(client.Connect("127.0.0.1", overload_server.port()).ok());
+    const size_t calib = std::max<size_t>(50, env.reps * 10);
+    tq::Timer timer;
+    for (size_t i = 0; i < calib; ++i) {
+      NetResponse resp;
+      TQ_CHECK(client.TopK({8}, &resp).ok() && resp.status.ok());
+    }
+    sync_rps = static_cast<double>(calib) / timer.ElapsedSeconds();
+  }
+
+  // Two seconds of calibrated capacity, delivered all at once across 4
+  // pipelined connections (bounded so tiny REPRO_SCALE machines finish).
+  const size_t offered = std::min<size_t>(
+      20000, std::max<size_t>(400, static_cast<size_t>(2.0 * sync_rps)));
+  const size_t burst_conns = 4;
+  std::atomic<size_t> served{0}, shed{0};
+  tq::Timer burst_timer;
+  {
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < burst_conns; ++c) {
+      clients.emplace_back([&]() {
+        NetClient client;
+        TQ_CHECK(client.Connect("127.0.0.1", overload_server.port()).ok());
+        const size_t frames = offered / burst_conns;
+        for (size_t i = 0; i < frames; ++i) {
+          TQ_CHECK(client.Send(NetRequest::TopK({8})).ok());
+        }
+        TQ_CHECK(client.Flush().ok());
+        for (size_t i = 0; i < frames; ++i) {
+          NetResponse resp;
+          TQ_CHECK(client.Receive(&resp).ok());
+          if (resp.status.ok()) {
+            served.fetch_add(1);
+          } else {
+            TQ_CHECK(resp.status.code() == tq::StatusCode::kOverloaded);
+            shed.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  const double burst_s = burst_timer.ElapsedSeconds();
+  overload_server.Stop();
+  const uint64_t net_shed =
+      overload_engine.metrics().Read().net_shed - shed_before;
+  TQ_CHECK(net_shed == shed.load());
+  const size_t answered = served.load() + shed.load();
+  const double shed_rate =
+      answered > 0 ? static_cast<double>(shed.load()) / answered : 0.0;
+  const double goodput = static_cast<double>(served.load()) / burst_s;
+
+  std::printf("\noverload burst (max_queued=%zu): offered=%zu served=%zu "
+              "shed=%zu (%.1f%%) goodput=%.0f rps sync_capacity=%.0f rps\n",
+              overload_options.max_queued, answered, served.load(),
+              shed.load(), 100.0 * shed_rate, goodput, sync_rps);
+  std::printf("# json: {\"bench\":\"net_backpressure\",\"preset\":\"nyf\","
+              "\"users\":%zu,\"facilities\":%zu,\"max_queued\":%zu,"
+              "\"sync_capacity_rps\":%.1f,\"offered\":%zu,\"served\":%zu,"
+              "\"shed\":%zu,\"shed_rate\":%.4f,\"goodput_rps\":%.1f}\n",
+              num_users, num_fac, overload_options.max_queued, sync_rps,
+              answered, served.load(), shed.load(), shed_rate, goodput);
   return 0;
 }

@@ -23,6 +23,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -26,6 +26,10 @@ enum class StatusCode {
   /// participants than configured (a dead shard worker, say). The value
   /// carried alongside is the best available, not the full one.
   kUnavailable,
+  /// Load shed: the server refused the work because its global queued-work
+  /// admission limit was exceeded. Retrying later (with backoff) is the
+  /// correct client reaction — nothing about the request itself was wrong.
+  kOverloaded,
 };
 
 /// Value-semantic status object. `Status::OK()` is cheap (no allocation).
@@ -59,6 +63,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -55,6 +55,7 @@ struct NetServer::Connection {
   uint64_t frames_seen = 0;  // drives frame-trace sampling
   bool want_write = false;  // EPOLLOUT armed
   bool closing = false;     // stop reading; close once fifo+outbox drain
+  bool paused = false;      // EPOLLIN dropped: outbox crossed the high mark
 
   // --- guarded by mu (completion callbacks run on pool threads) ---
   std::mutex mu;
@@ -74,6 +75,24 @@ struct NetServer::PendingUpdate {
   uint64_t rx_ns = 0;  // decode timestamp; coalescing wait counts as frame time
   std::vector<std::vector<Point>> inserts;
   std::vector<uint32_t> removes;
+};
+
+/// One standing query. All fields are guarded by the server's subs_mu_.
+/// `last_gens` is the per-shard generation vector at the subscription's most
+/// recent evaluation DISPATCH — a publish whose post-publish generations
+/// equal it cannot have changed the answer (every per-shard contribution is
+/// keyed by its shard generation, the result cache's own invariant), so the
+/// subscription is skipped without any engine work.
+struct NetServer::Subscription {
+  uint64_t id = 0;
+  std::shared_ptr<Connection> conn;
+  SubscriptionKind kind = SubscriptionKind::kSum;
+  FacilityId facility = 0;  // kind kSum
+  uint32_t k = 0;           // kind kTopK
+  std::vector<uint64_t> last_gens;
+  uint64_t epoch = 0;     // pushes assigned so far (staged OR dropped)
+  bool inflight = false;  // one evaluation outstanding at most
+  bool repeat = false;    // generations advanced while inflight: run again
 };
 
 namespace {
@@ -157,6 +176,12 @@ NetServer::NetServer(runtime::ServingEngine* engine, NetServerOptions options)
   TQ_CHECK(engine != nullptr);
   engine_psi_ = engine_->psi();
   if (options_.update_batch == 0) options_.update_batch = 1;
+  // A low watermark at or above the high one would pause and resume in the
+  // same breath; clamp it to half the span so pausing always hysteresis-es.
+  if (options_.outbox_high_bytes != 0 &&
+      options_.outbox_low_bytes >= options_.outbox_high_bytes) {
+    options_.outbox_low_bytes = options_.outbox_high_bytes / 2;
+  }
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -241,11 +266,18 @@ void NetServer::Stop() {
                  conn->outbox.size() - conn->out_off,
                  MSG_NOSIGNAL | MSG_DONTWAIT);
       if (n > 0) metrics_->AddNetBytesOut(static_cast<uint64_t>(n));
+      // Sent or dropped, every staged byte leaves the outboxes now.
+      metrics_->SubNetOutboxBytes(conn->outbox.size() - conn->out_off);
     }
     conn->closed = true;
     ::close(fd);
   }
   connections_.clear();
+  {
+    // Standing queries die with their connections.
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    subs_.clear();
+  }
   {
     std::lock_guard<std::mutex> lock(dirty_mu_);
     dirty_.clear();
@@ -397,6 +429,10 @@ void NetServer::Accept() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+    }
     auto conn = std::make_shared<Connection>(fd, options_.max_frame_bytes);
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -483,10 +519,29 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
     resp.status = Status::InvalidArgument(
         "engine serves psi=" + std::to_string(engine_psi_) +
         ", request asked for psi=" + std::to_string(request.psi));
-    resp.snapshot_version = engine_->snapshot_version();
-    std::string bytes;
-    EncodeResponse(resp, &bytes);
-    Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+    AnswerInline(conn, std::move(resp), rx_ns);
+    return;
+  }
+  // Admission control: the dispatchable read paths are the unbounded work
+  // queue — once the global backlog crosses the limit, answer in-protocol
+  // with kOverloaded instead of queueing more. The frame is still answered
+  // (pipelining never stalls) and the connection survives; a well-behaved
+  // client backs off and retries. Inline types (stats, heartbeat, status,
+  // subscribe) cost no pool work and are never shed — so overload stays
+  // observable and subscriptions stay manageable while shedding.
+  if ((request.type == MessageType::kSum ||
+       request.type == MessageType::kTopK ||
+       request.type == MessageType::kBound) &&
+      Overloaded()) {
+    metrics_->AddNetShed();
+    NetResponse resp;
+    resp.type = request.type;
+    resp.status = Status::Overloaded(
+        "server overloaded: " +
+        std::to_string(queued_work_.load(std::memory_order_relaxed)) +
+        " queries queued (limit " + std::to_string(options_.max_queued) +
+        "); back off and retry");
+    AnswerInline(conn, std::move(resp), rx_ns);
     return;
   }
   // Sampled frame trace for the read paths: the frame's sub-queries share
@@ -535,14 +590,11 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       // bounded ring copy, so it cannot block behind the worker pool.
       NetResponse resp;
       resp.type = MessageType::kStats;
-      resp.snapshot_version = engine_->snapshot_version();
       const uint32_t max_traces =
           std::min(request.stats_max_traces, kMaxStatsTraces);
       resp.stats = BuildWireStats(metrics_->Read(),
                                   engine_->tracer().Recent(max_traces));
-      std::string bytes;
-      EncodeResponse(resp, &bytes);
-      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      AnswerInline(conn, std::move(resp), rx_ns);
       break;
     }
     case MessageType::kRegister: {
@@ -553,9 +605,7 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       const runtime::EngineInfo info = engine_->info();
       resp.snapshot_version = info.snapshot_version;
       resp.worker_info = ToWireInfo(info);
-      std::string bytes;
-      EncodeResponse(resp, &bytes);
-      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      AnswerInline(conn, std::move(resp), rx_ns);
       break;
     }
     case MessageType::kHeartbeat: {
@@ -563,12 +613,9 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       // coordinator can watch worker progress without a stats scrape.
       NetResponse resp;
       resp.type = MessageType::kHeartbeat;
-      resp.snapshot_version = engine_->snapshot_version();
       resp.heartbeat_seq = request.heartbeat_seq;
       resp.heartbeat_queries = metrics_->Read().queries_total;
-      std::string bytes;
-      EncodeResponse(resp, &bytes);
-      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      AnswerInline(conn, std::move(resp), rx_ns);
       break;
     }
     case MessageType::kStatus: {
@@ -599,19 +646,14 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       resp.durability.last_lsn = rec.last_lsn;
       resp.durability.replayed_batches = rec.replayed_batches;
       resp.durability.recovery_ns = rec.recovery_ns;
-      std::string bytes;
-      EncodeResponse(resp, &bytes);
-      Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+      AnswerInline(conn, std::move(resp), rx_ns);
       break;
     }
     case MessageType::kBound: {
       // One round-1 bound sweep, dispatched to the engine's pool like the
       // read paths (inflight-accounted so Stop() outlives the callback).
       const uint64_t seq = AllocSlot(conn.get());
-      {
-        std::lock_guard<std::mutex> lock(inflight_mu_);
-        inflight_ += 1;
-      }
+      BeginWork(1);
       engine_->TopKBoundSweepAsync(
           request.bound_k,
           [this, conn, seq, rx_ns](runtime::BoundSweepResult result) {
@@ -624,14 +666,38 @@ void NetServer::HandleFrame(const std::shared_ptr<Connection>& conn,
             std::string bytes;
             EncodeResponse(resp, &bytes);
             Complete(conn, seq, std::move(bytes), rx_ns);
-            std::lock_guard<std::mutex> lock(inflight_mu_);
-            if (--inflight_ == 0) inflight_cv_.notify_all();
+            EndWork();
           });
       break;
     }
+    case MessageType::kSubscribe: {
+      NetResponse resp;
+      resp.type = MessageType::kSubscribe;
+      if (request.sub_op == 1) {
+        if (RemoveSubscription(conn.get(), request.sub_id)) {
+          resp.sub_id = request.sub_id;
+        } else {
+          resp.status = Status::NotFound(
+              "no subscription " + std::to_string(request.sub_id) +
+              " on this connection");
+        }
+      } else if (request.sub_kind == SubscriptionKind::kSum &&
+                 request.sub_facility >= engine_->info().num_facilities) {
+        resp.status = Status::OutOfRange(
+            "facility " + std::to_string(request.sub_facility) +
+            " beyond the catalog");
+      } else {
+        resp.sub_id = AddSubscription(conn, request);
+      }
+      AnswerInline(conn, std::move(resp), rx_ns);
+      break;
+    }
     case MessageType::kError:
+    case MessageType::kPush:
+      // kPush is server→client only; DecodeRequest already rejected both,
+      // so these arms are unreachable — kept for switch exhaustiveness.
       FailConnection(conn, MessageType::kError,
-                     Status::InvalidArgument("kError is not a request type"));
+                     Status::InvalidArgument("not a request type"));
       break;
   }
 }
@@ -656,10 +722,7 @@ void NetServer::DispatchBatch(
     return;
   }
   auto state = std::make_shared<FrameState<Result>>(count);
-  {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    inflight_ += count;
-  }
+  BeginWork(count);
   for (size_t i = 0; i < count; ++i) {
     engine_->SubmitAsync(
         make_request(i), trace,
@@ -689,8 +752,7 @@ void NetServer::DispatchBatch(
                                                 resp.snapshot_version);
             }
           }
-          std::lock_guard<std::mutex> lock(inflight_mu_);
-          if (--inflight_ == 0) inflight_cv_.notify_all();
+          EndWork();
         },
         rx_ns);
   }
@@ -743,12 +805,17 @@ void NetServer::FlushUpdates() {
   // an all-empty batch skips the publish (and the coalescing accounting —
   // nothing was merged into a publish) but still answers every frame.
   std::vector<uint32_t> ids;
-  if (!batch.inserts.empty() || !batch.removes.empty()) {
+  const bool published = !batch.inserts.empty() || !batch.removes.empty();
+  if (published) {
     ids = engine_->ApplyUpdates(batch);
     metrics_->AddNetBatchesCoalesced(pending.size() - 1);
   }
   const std::vector<uint64_t> generations = engine_->shard_generations();
   const uint64_t version = engine_->snapshot_version();
+  // Standing queries react to the publish before its own responses are
+  // staged or not at all — the generation comparison inside decides, per
+  // subscription, whether this batch could have changed its answer.
+  if (published) NotifySubscriptions(generations);
   size_t id_offset = 0;
   for (size_t i = 0; i < pending.size(); ++i) {
     NetResponse resp;
@@ -800,14 +867,17 @@ void NetServer::Complete(const std::shared_ptr<Connection>& conn,
     slot.ready = true;
     slot.bytes = std::move(frame_bytes);
     // Pump the ready prefix: pipelined responses leave in arrival order.
-    bool staged = false;
+    uint64_t staged_bytes = 0;
     while (!conn->fifo.empty() && conn->fifo.front().ready) {
+      staged_bytes += conn->fifo.front().bytes.size();
       conn->outbox += conn->fifo.front().bytes;
       conn->fifo.pop_front();
       ++conn->base_seq;
-      staged = true;
     }
-    if (staged && !conn->closed && !conn->dirty) {
+    // A closed connection's outbox is never flushed (and was already
+    // subtracted wholesale on close) — keep late completions off the gauge.
+    if (!conn->closed) metrics_->AddNetOutboxBytes(staged_bytes);
+    if (staged_bytes != 0 && !conn->closed && !conn->dirty) {
       conn->dirty = true;
       stage = true;
     }
@@ -823,6 +893,7 @@ void NetServer::Complete(const std::shared_ptr<Connection>& conn,
 
 void NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
   bool close_now = false;
+  size_t backlog = 0;
   {
     std::unique_lock<std::mutex> lock(conn->mu);
     conn->dirty = false;
@@ -834,13 +905,20 @@ void NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
       if (n > 0) {
         conn->out_off += static_cast<size_t>(n);
         metrics_->AddNetBytesOut(static_cast<uint64_t>(n));
+        metrics_->SubNetOutboxBytes(static_cast<uint64_t>(n));
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // The peer's receive path is full. Arm EPOLLOUT to finish the
+        // drain, and let the watermarks decide whether to keep reading
+        // from a connection that is sitting on this much backlog.
         if (!conn->want_write) {
           conn->want_write = true;
           UpdateInterest(conn.get());
         }
+        backlog = conn->outbox.size() - conn->out_off;
+        lock.unlock();
+        ReconsiderPause(conn, backlog);
         return;
       }
       lock.unlock();
@@ -855,7 +933,11 @@ void NetServer::FlushOutbox(const std::shared_ptr<Connection>& conn) {
     }
     close_now = conn->closing && conn->fifo.empty();
   }
-  if (close_now) CloseConnection(conn);
+  if (close_now) {
+    CloseConnection(conn);
+    return;
+  }
+  ReconsiderPause(conn, 0);  // fully drained: resume a paused connection
 }
 
 void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
@@ -863,7 +945,10 @@ void NetServer::CloseConnection(const std::shared_ptr<Connection>& conn) {
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed) return;
     conn->closed = true;
+    // Whatever was still queued will never be sent: take it off the gauge.
+    metrics_->SubNetOutboxBytes(conn->outbox.size() - conn->out_off);
   }
+  DropConnectionSubscriptions(conn.get());
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
   ::close(conn->fd);
   connections_.erase(conn->fd);
@@ -883,10 +968,242 @@ void NetServer::FailConnection(const std::shared_ptr<Connection>& conn,
 
 void NetServer::UpdateInterest(Connection* conn) {
   epoll_event ev{};
-  ev.events = (conn->closing ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+  ev.events = (conn->closing || conn->paused ? 0u
+                                             : static_cast<uint32_t>(EPOLLIN)) |
               (conn->want_write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
   ev.data.fd = conn->fd;
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void NetServer::AnswerInline(const std::shared_ptr<Connection>& conn,
+                             NetResponse&& resp, uint64_t rx_ns) {
+  if (resp.snapshot_version == 0) {
+    resp.snapshot_version = engine_->snapshot_version();
+  }
+  std::string bytes;
+  EncodeResponse(resp, &bytes);
+  Complete(conn, AllocSlot(conn.get()), std::move(bytes), rx_ns);
+}
+
+void NetServer::ReconsiderPause(const std::shared_ptr<Connection>& conn,
+                                size_t backlog) {
+  if (options_.outbox_high_bytes == 0) return;  // watermarks disabled
+  if (!conn->paused && backlog >= options_.outbox_high_bytes) {
+    // The peer has stopped draining: stop reading from it. Its already
+    // pipelined frames keep completing into the outbox (bounded — the FIFO
+    // holds only frames read before the pause), but no new frames enter.
+    conn->paused = true;
+    metrics_->AddNetPause();
+    UpdateInterest(conn.get());
+  } else if (conn->paused && backlog <= options_.outbox_low_bytes) {
+    conn->paused = false;
+    UpdateInterest(conn.get());
+  }
+}
+
+void NetServer::BeginWork(size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_ += n;
+  }
+  queued_work_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void NetServer::EndWork() {
+  queued_work_.fetch_sub(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (--inflight_ == 0) inflight_cv_.notify_all();
+}
+
+size_t NetServer::active_subscriptions() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  return subs_.size();
+}
+
+uint64_t NetServer::AddSubscription(const std::shared_ptr<Connection>& conn,
+                                    const NetRequest& request) {
+  std::vector<uint64_t> gens = engine_->shard_generations();
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    id = next_sub_id_++;
+    Subscription& sub = subs_[id];
+    sub.id = id;
+    sub.conn = conn;
+    sub.kind = request.sub_kind;
+    sub.facility = request.sub_facility;
+    sub.k = request.sub_k;
+    sub.last_gens = std::move(gens);
+    sub.inflight = true;  // the initial evaluation, dispatched below
+  }
+  metrics_->AddSubRegistered();
+  metrics_->AddSubsEvaluated(1);
+  BeginWork(1);
+  DispatchSubEval(id, request.sub_kind, request.sub_facility, request.sub_k,
+                  conn);
+  return id;
+}
+
+bool NetServer::RemoveSubscription(const Connection* conn, uint64_t sub_id) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  auto it = subs_.find(sub_id);
+  if (it == subs_.end() || it->second.conn.get() != conn) return false;
+  // An evaluation still in flight finds the entry gone and drops its push.
+  subs_.erase(it);
+  return true;
+}
+
+void NetServer::DropConnectionSubscriptions(const Connection* conn) {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    if (it->second.conn.get() == conn) {
+      it = subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void NetServer::NotifySubscriptions(
+    const std::vector<uint64_t>& generations) {
+  struct Eval {
+    uint64_t id;
+    SubscriptionKind kind;
+    FacilityId facility;
+    uint32_t k;
+    std::shared_ptr<Connection> conn;
+  };
+  std::vector<Eval> evals;
+  uint64_t skipped = 0;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto& [id, sub] : subs_) {
+      if (sub.last_gens == generations) {
+        // No shard this subscription's answer depends on changed — and a
+        // query reads every shard, so unchanged generations mean an
+        // unchanged answer. Skip the evaluation entirely.
+        ++skipped;
+        continue;
+      }
+      if (sub.inflight) {
+        // A publish landed mid-evaluation: coalesce into one follow-up
+        // pass after the current one stages its push.
+        sub.repeat = true;
+        continue;
+      }
+      sub.last_gens = generations;
+      sub.inflight = true;
+      evals.push_back({id, sub.kind, sub.facility, sub.k, sub.conn});
+    }
+  }
+  if (skipped != 0) metrics_->AddSubsSkipped(skipped);
+  if (evals.empty()) return;
+  metrics_->AddSubsEvaluated(evals.size());
+  BeginWork(evals.size());
+  for (Eval& e : evals) {
+    DispatchSubEval(e.id, e.kind, e.facility, e.k, std::move(e.conn));
+  }
+}
+
+void NetServer::DispatchSubEval(uint64_t sub_id, SubscriptionKind kind,
+                                FacilityId facility, uint32_t k,
+                                std::shared_ptr<Connection> conn) {
+  const runtime::QueryRequest query =
+      kind == SubscriptionKind::kSum
+          ? runtime::QueryRequest::ServiceValue(facility)
+          : runtime::QueryRequest::TopK(k);
+  engine_->SubmitAsync(
+      query, nullptr,
+      [this, sub_id, kind, facility, k, conn](runtime::QueryResponse r) {
+        // Assign the epoch first: a push that ends up dropped (slow
+        // consumer at the high watermark) still consumes its number, and
+        // the resulting gap is how the client learns it missed one.
+        uint64_t epoch = 0;
+        bool gone = false;
+        {
+          std::lock_guard<std::mutex> lock(subs_mu_);
+          auto it = subs_.find(sub_id);
+          if (it == subs_.end()) {
+            gone = true;  // unsubscribed / connection closed mid-eval
+          } else {
+            epoch = ++it->second.epoch;
+          }
+        }
+        if (!gone) {
+          NetResponse resp;
+          resp.type = MessageType::kPush;
+          resp.snapshot_version = r.snapshot_version;
+          resp.sub_id = sub_id;
+          resp.push_epoch = epoch;
+          resp.push_kind = kind;
+          if (kind == SubscriptionKind::kSum) {
+            resp.push_sum = SumResult{r.status.code(), r.value};
+          } else {
+            resp.push_topk =
+                RankedResult{r.status.code(), std::move(r.ranked)};
+          }
+          std::string bytes;
+          EncodeResponse(resp, &bytes);
+          if (StagePush(conn, bytes)) metrics_->AddSubPushed();
+        }
+        // Only after the push is staged (or dropped) may a coalesced
+        // follow-up run: one evaluation exists per subscription at a time,
+        // so its pushes reach the outbox in epoch order.
+        bool redispatch = false;
+        if (!gone) {
+          std::vector<uint64_t> gens = engine_->shard_generations();
+          std::lock_guard<std::mutex> lock(subs_mu_);
+          auto it = subs_.find(sub_id);
+          if (it != subs_.end()) {
+            if (it->second.repeat) {
+              it->second.repeat = false;
+              it->second.last_gens = std::move(gens);
+              redispatch = true;  // inflight stays true across the hand-off
+            } else {
+              it->second.inflight = false;
+            }
+          }
+        }
+        if (redispatch) {
+          metrics_->AddSubsEvaluated(1);
+          BeginWork(1);  // before EndWork: inflight_ never dips to zero
+          DispatchSubEval(sub_id, kind, facility, k, std::move(conn));
+        }
+        EndWork();
+      },
+      0);
+}
+
+bool NetServer::StagePush(const std::shared_ptr<Connection>& conn,
+                          const std::string& frame_bytes) {
+  bool stage = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return false;
+    const size_t backlog = conn->outbox.size() - conn->out_off;
+    if (options_.outbox_high_bytes != 0 &&
+        backlog + frame_bytes.size() > options_.outbox_high_bytes) {
+      // A subscriber that stopped reading does not get to grow the outbox
+      // without bound. Read-side pause cannot help here (pushes are not
+      // reads), so the frame is dropped — its epoch was already assigned,
+      // and the gap tells the client to resynchronize.
+      return false;
+    }
+    conn->outbox += frame_bytes;
+    metrics_->AddNetOutboxBytes(frame_bytes.size());
+    if (!conn->dirty) {
+      conn->dirty = true;
+      stage = true;
+    }
+  }
+  if (stage) {
+    {
+      std::lock_guard<std::mutex> lock(dirty_mu_);
+      dirty_.push_back(conn);
+    }
+    WakeLoop();
+  }
+  return true;
 }
 
 }  // namespace tq::net

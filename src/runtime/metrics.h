@@ -54,7 +54,18 @@ namespace tq::runtime {
 //   net_*                    network front-end accounting (src/net/server.h):
 //                            connections accepted, frames decoded, update
 //                            frames merged into a pending publish, payload
-//                            bytes in / out incl. the 4-byte frame headers
+//                            bytes in / out incl. the 4-byte frame headers,
+//                            plus backpressure accounting — requests shed
+//                            with kOverloaded by admission control,
+//                            read-pause transitions taken when a
+//                            connection's outbox crossed the high watermark,
+//                            and bytes currently staged in outboxes
+//                            (a gauge: Add/Sub, not monotone)
+//   subs_*                   standing-query accounting (src/net/server.h):
+//                            subscriptions registered over their lifetime,
+//                            per-publish re-evaluations actually run vs.
+//                            skipped because no subscribed shard's
+//                            generation changed, and kPush frames staged
 //   coord_*/heartbeats_sent/worker_failures
 //                            coordinator accounting (runtime/remote_shard_set):
 //                            worker RPCs issued, queries answered from fewer
@@ -97,6 +108,13 @@ namespace tq::runtime {
   X(net_batches_coalesced)     \
   X(net_bytes_in)              \
   X(net_bytes_out)             \
+  X(net_shed)                  \
+  X(net_paused_connections)    \
+  X(net_outbox_bytes)          \
+  X(subs_registered)           \
+  X(subs_evaluated)            \
+  X(subs_skipped)              \
+  X(subs_pushed)               \
   X(coord_rpcs)                \
   X(coord_partial)             \
   X(heartbeats_sent)           \
@@ -227,6 +245,33 @@ class MetricsRegistry {
   void AddNetBytesOut(uint64_t n) {
     if (n) net_bytes_out_.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddNetShed() { net_shed_.fetch_add(1, std::memory_order_relaxed); }
+  /// Read-pause transitions (pause events, cumulative — a connection that
+  /// pauses, drains, and pauses again counts twice).
+  void AddNetPause() {
+    net_paused_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// net_outbox_bytes is a gauge of bytes currently staged across all
+  /// connection outboxes: Add when staged, Sub when written to the socket
+  /// or the connection closes.
+  void AddNetOutboxBytes(uint64_t n) {
+    if (n) net_outbox_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void SubNetOutboxBytes(uint64_t n) {
+    if (n) net_outbox_bytes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+
+  /// Standing-query accounting (bumped by net::NetServer only).
+  void AddSubRegistered() {
+    subs_registered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void AddSubsEvaluated(uint64_t n) {
+    if (n) subs_evaluated_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddSubsSkipped(uint64_t n) {
+    if (n) subs_skipped_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddSubPushed() { subs_pushed_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Coordinator accounting (bumped by runtime::RemoteShardSet only).
   void AddCoordRpcs(uint64_t n) {

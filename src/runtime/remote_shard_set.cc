@@ -1,7 +1,13 @@
 #include "runtime/remote_shard_set.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +17,8 @@
 namespace tq::runtime {
 
 namespace {
+
+constexpr char kWorkerSetFile[] = "workers.txt";
 
 // Span names must have static storage duration (trace.h contract).
 constexpr const char* kSpanRound1 = "rpc_round1";
@@ -736,6 +744,75 @@ void RemoteShardSet::HeartbeatPass() {
     channels_[w]->idle.clear();
   }
   heartbeat_inflight_.store(false, std::memory_order_release);
+}
+
+Status RemoteShardSet::SaveWorkerSet(
+    const std::string& data_dir,
+    const std::vector<std::pair<std::string, uint16_t>>& workers) {
+  if (::mkdir(data_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + data_dir + ": " +
+                           std::strerror(errno));
+  }
+  const std::string path = data_dir + "/" + kWorkerSetFile;
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+  }
+  for (const auto& [host, port] : workers) {
+    std::fprintf(f, "%s:%u\n", host.c_str(), port);
+  }
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IOError("write " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status RemoteShardSet::LoadWorkerSet(
+    const std::string& data_dir,
+    std::vector<std::pair<std::string, uint16_t>>* workers) {
+  const std::string path = data_dir + "/" + kWorkerSetFile;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("no saved worker set at " + path);
+  }
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string endpoint(line);
+    while (!endpoint.empty() &&
+           (endpoint.back() == '\n' || endpoint.back() == '\r')) {
+      endpoint.pop_back();
+    }
+    if (endpoint.empty()) continue;
+    const size_t colon = endpoint.rfind(':');
+    unsigned long port = 0;
+    if (colon == 0 || colon == std::string::npos ||
+        colon + 1 == endpoint.size()) {
+      std::fclose(f);
+      return Status::IOError("bad worker endpoint '" + endpoint + "' in " +
+                             path);
+    }
+    const std::string digits = endpoint.substr(colon + 1);
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        std::fclose(f);
+        return Status::IOError("bad worker endpoint '" + endpoint +
+                               "' in " + path);
+      }
+    }
+    port = std::strtoul(digits.c_str(), nullptr, 10);
+    if (port == 0 || port > 65535) {
+      std::fclose(f);
+      return Status::IOError("bad worker endpoint '" + endpoint + "' in " +
+                             path);
+    }
+    workers->emplace_back(endpoint.substr(0, colon),
+                          static_cast<uint16_t>(port));
+  }
+  std::fclose(f);
+  return Status::OK();
 }
 
 }  // namespace tq::runtime

@@ -125,6 +125,22 @@ class RemoteShardSet : public ServingEngine {
 
   size_t num_workers() const { return channels_.size(); }
 
+  // ---- worker-set persistence (serve --coordinator --data-dir) ----------
+  // The verified worker set persists as DIR/workers.txt, one HOST:PORT per
+  // line, written atomically (tmp file + rename), so a coordinator restart
+  // can recover its cluster membership without re-passing --workers.
+
+  /// Creates `data_dir` if needed and writes `workers` to its worker-set
+  /// file (atomic replace).
+  static Status SaveWorkerSet(
+      const std::string& data_dir,
+      const std::vector<std::pair<std::string, uint16_t>>& workers);
+  /// Appends the saved endpoints to `*workers`. NotFound when the file does
+  /// not exist; IOError on an unparseable line.
+  static Status LoadWorkerSet(
+      const std::string& data_dir,
+      std::vector<std::pair<std::string, uint16_t>>* workers);
+
  private:
   /// One worker's connection pool + RTT accounting. Channels are created at
   /// construction and never move (unique_ptr pins them for the histogram).

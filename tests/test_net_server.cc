@@ -141,6 +141,132 @@ TEST(NetProtocol, DecodeRejectsGarbageAndTruncation) {
   EXPECT_TRUE(DecodeRequest(payload, &out).ok());
 }
 
+TEST(NetProtocol, SubscribeRoundTripsBothOps) {
+  for (const NetRequest& original :
+       {NetRequest::SubscribeSum(17), NetRequest::SubscribeTopK(8),
+        NetRequest::Unsubscribe(0xDEADBEEFCAFEULL)}) {
+    std::string wire;
+    EncodeRequest(original, &wire);
+    NetRequest decoded;
+    const Status st =
+        DecodeRequest(wire.substr(net::kFrameHeaderBytes), &decoded);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(decoded.type, MessageType::kSubscribe);
+    EXPECT_EQ(decoded.sub_op, original.sub_op);
+    EXPECT_EQ(decoded.sub_kind, original.sub_kind);
+    EXPECT_EQ(decoded.sub_facility, original.sub_facility);
+    EXPECT_EQ(decoded.sub_k, original.sub_k);
+    EXPECT_EQ(decoded.sub_id, original.sub_id);
+  }
+  // Both op bodies, truncated at every byte: fail, never crash/over-read.
+  for (const NetRequest& original :
+       {NetRequest::SubscribeTopK(8), NetRequest::Unsubscribe(12345)}) {
+    std::string wire;
+    EncodeRequest(original, &wire);
+    const std::string payload = wire.substr(net::kFrameHeaderBytes);
+    NetRequest out;
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(DecodeRequest(payload.substr(0, len), &out).ok())
+          << "truncation at " << len << " decoded";
+    }
+    EXPECT_TRUE(DecodeRequest(payload, &out).ok());
+  }
+  // An out-of-range op byte is rejected.
+  {
+    NetRequest bogus = NetRequest::Unsubscribe(1);
+    bogus.sub_op = 2;
+    std::string wire;
+    EncodeRequest(bogus, &wire);
+    NetRequest out;
+    EXPECT_FALSE(
+        DecodeRequest(wire.substr(net::kFrameHeaderBytes), &out).ok());
+  }
+}
+
+TEST(NetProtocol, PushAndOverloadedResponsesRoundTrip) {
+  // A kTopK push with real payload.
+  NetResponse push;
+  push.type = MessageType::kPush;
+  push.snapshot_version = 9;
+  push.sub_id = 0x1122334455667788ULL;
+  push.push_epoch = 41;
+  push.push_kind = net::SubscriptionKind::kTopK;
+  push.push_topk.ranked = {{5, 12.0}, {1, 12.0}, {0, 3.5}};
+  std::string wire;
+  EncodeResponse(push, &wire);
+  {
+    NetResponse decoded;
+    ASSERT_TRUE(
+        DecodeResponse(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+    EXPECT_EQ(decoded.type, MessageType::kPush);
+    EXPECT_TRUE(decoded.status.ok());
+    EXPECT_EQ(decoded.sub_id, push.sub_id);
+    EXPECT_EQ(decoded.push_epoch, 41u);
+    EXPECT_EQ(decoded.push_kind, net::SubscriptionKind::kTopK);
+    ASSERT_EQ(decoded.push_topk.ranked.size(), 3u);
+    EXPECT_EQ(decoded.push_topk.ranked[2].id, 0u);
+    EXPECT_EQ(decoded.push_topk.ranked[2].value, 3.5);
+  }
+  // Truncated anywhere, the push body must fail to decode.
+  {
+    const std::string payload = wire.substr(net::kFrameHeaderBytes);
+    NetResponse out;
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(DecodeResponse(payload.substr(0, len), &out).ok())
+          << "truncation at " << len << " decoded";
+    }
+  }
+  // Same for a kSum push.
+  NetResponse sum_push;
+  sum_push.type = MessageType::kPush;
+  sum_push.sub_id = 7;
+  sum_push.push_epoch = 1;
+  sum_push.push_kind = net::SubscriptionKind::kSum;
+  sum_push.push_sum = {StatusCode::kOk, 123.0};
+  wire.clear();
+  EncodeResponse(sum_push, &wire);
+  {
+    const std::string payload = wire.substr(net::kFrameHeaderBytes);
+    NetResponse out;
+    ASSERT_TRUE(DecodeResponse(payload, &out).ok());
+    EXPECT_EQ(out.push_sum.code, StatusCode::kOk);
+    EXPECT_EQ(out.push_sum.value, 123.0);
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(DecodeResponse(payload.substr(0, len), &out).ok());
+    }
+  }
+  // The kOverloaded status code survives the wire with its message — the
+  // shed answer must be recognizable in-protocol, not a generic error.
+  NetResponse shed;
+  shed.type = MessageType::kTopK;
+  shed.status = Status::Overloaded("134 queries queued (max 128)");
+  wire.clear();
+  EncodeResponse(shed, &wire);
+  {
+    NetResponse decoded;
+    ASSERT_TRUE(
+        DecodeResponse(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+    EXPECT_EQ(decoded.type, MessageType::kTopK);
+    EXPECT_EQ(decoded.status.code(), StatusCode::kOverloaded);
+    EXPECT_EQ(decoded.status.message(), "134 queries queued (max 128)");
+    EXPECT_TRUE(decoded.topks.empty());
+  }
+  // A kSubscribe ack round-trips its assigned id.
+  NetResponse ack;
+  ack.type = MessageType::kSubscribe;
+  ack.snapshot_version = 3;
+  ack.sub_id = 99;
+  wire.clear();
+  EncodeResponse(ack, &wire);
+  {
+    NetResponse decoded;
+    ASSERT_TRUE(
+        DecodeResponse(wire.substr(net::kFrameHeaderBytes), &decoded).ok());
+    EXPECT_EQ(decoded.type, MessageType::kSubscribe);
+    EXPECT_EQ(decoded.sub_id, 99u);
+  }
+}
+
 TEST(NetProtocol, FrameAssemblerSplitsByteDribble) {
   std::string wire;
   EncodeRequest(NetRequest::Sum({1}), &wire);

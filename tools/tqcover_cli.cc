@@ -16,8 +16,16 @@
 //   tqcover_cli stats 127.0.0.1:7070         # scrape a live server's
 //                                            # metrics/histograms/traces
 //   tqcover_cli query 127.0.0.1:7070 --sums 500 --topks 20   # drive traffic
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -85,6 +93,12 @@ int Usage() {
       "            [--update-remove-start 0]]  # N acked kUpdate frames\n"
       "                          # first: synthetic inserts + sequential\n"
       "                          # id removes (crash-recovery CI traffic)\n"
+      "  flood    HOST:PORT [--frames 2000] [--batch 256] [--topk 0]\n"
+      "           [--facility-range 8] [--stall-ms 0] [--rcvbuf-kb 16]\n"
+      "                          # ADVERSARIAL client: pipeline every frame\n"
+      "                          # without reading, stonewall --stall-ms,\n"
+      "                          # then drain; exit 0 iff every frame got a\n"
+      "                          # well-formed answer (served or shed)\n"
       "  status   HOST:PORT     # a serving process's identity, and (on a\n"
       "           coordinator) the per-worker liveness/RTT table\n"
       "  topk     --users FILE --facilities FILE [--k 8] [--psi 200]\n"
@@ -105,6 +119,15 @@ int Usage() {
       "                         # protocol (docs/PROTOCOL.md) instead of a\n"
       "                         # local query loop; 0 = ephemeral port;\n"
       "                         # runs S seconds (default: until SIGINT)\n"
+      "           [--max-outbox-kb KB]  # with --listen: per-connection\n"
+      "                         # response-backlog high watermark (default\n"
+      "                         # 4096, resume at half; 0 = unbounded) — at\n"
+      "                         # KB staged bytes the server stops reading\n"
+      "                         # that connection until the peer drains\n"
+      "           [--max-queued N]  # with --listen: answer read queries\n"
+      "                         # with in-protocol kOverloaded once N\n"
+      "                         # engine calls are queued (0 = never shed,\n"
+      "                         # the default)\n"
       "           [--worker LO:HI]  # with --listen and --shards N: own only\n"
       "                         # the Z-order shard range [LO, HI) of the\n"
       "                         # N-way partition (a shard-worker process)\n"
@@ -117,6 +140,8 @@ int Usage() {
       "  serve    --coordinator --workers HOST:PORT,... --listen PORT\n"
       "           [--rpc-timeout-ms 2000] [--heartbeat-ms 1000]\n"
       "           [--heartbeat-timeout-ms 5000] [--prune 1]\n"
+      "           [--data-dir DIR]  # persist the verified worker set into\n"
+      "                         # DIR so a restart can omit --workers\n"
       "                         # no local data: serve by scatter/gather\n"
       "                         # over shard-worker processes\n"
       "           [--slow-query-ms N]  # log '# slow:' JSON trace lines for\n"
@@ -443,6 +468,152 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+// flood HOST:PORT — an ADVERSARIAL client: pipelines --frames request
+// frames as fast as the kernel accepts without reading a single response
+// byte, optionally keeps stonewalling for --stall-ms after the pipe fills
+// (the phase in which a healthy server must pause this connection at its
+// outbox watermark instead of buffering the owed responses), then drains
+// everything and reports how each frame was answered. With --topk K and
+// --batch B each frame carries B top-k queries, so a --max-queued server
+// sheds most of the burst with in-protocol kOverloaded answers. Exits 0
+// only when every pipelined frame got SOME well-formed answer — served or
+// shed, never dropped. The CI overload-smoke job runs this against a real
+// serve process and gates the server's RSS and counters meanwhile.
+int CmdFlood(const Args& args) {
+  if (args.target.empty()) return Usage();
+  std::string host;
+  uint16_t port = 0;
+  if (!ParseHostPort(args.target, &host, &port)) {
+    std::fprintf(stderr, "bad HOST:PORT '%s'\n", args.target.c_str());
+    return 2;
+  }
+  const size_t frames = std::max<size_t>(1, args.GetSize("frames", 2000));
+  const size_t batch = std::max<size_t>(1, args.GetSize("batch", 256));
+  const auto topk = static_cast<uint32_t>(args.GetSize("topk", 0));
+  const size_t facility_range =
+      std::max<size_t>(1, args.GetSize("facility-range", 8));
+  const size_t stall_ms = args.GetSize("stall-ms", 0);
+  const size_t rcvbuf_kb = args.GetSize("rcvbuf-kb", 16);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  if (rcvbuf_kb > 0) {
+    // Before connect(): a small advertised window makes the server hit its
+    // watermarks with far less kernel-buffered slack.
+    const int rcvbuf = static_cast<int>(rcvbuf_kb * 1024);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "flood needs a numeric IPv4 host, got '%s'\n",
+                 host.c_str());
+    ::close(fd);
+    return 2;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::perror("connect");
+    ::close(fd);
+    return 1;
+  }
+
+  // One frame, repeated: either a sum batch or a top-k batch.
+  std::string one;
+  if (topk > 0) {
+    tq::net::EncodeRequest(
+        tq::net::NetRequest::TopK(std::vector<uint32_t>(batch, topk)), &one);
+  } else {
+    std::vector<tq::FacilityId> ids(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      ids[i] = static_cast<tq::FacilityId>(i % facility_range);
+    }
+    tq::net::EncodeRequest(tq::net::NetRequest::Sum(ids), &one);
+  }
+  std::string burst;
+  burst.reserve(one.size() * frames);
+  for (size_t i = 0; i < frames; ++i) burst += one;
+
+  // Blocking firehose on its own thread; the main thread stonewalls.
+  std::atomic<bool> sent_all{false};
+  std::thread sender([fd, &burst, &sent_all] {
+    size_t off = 0;
+    while (off < burst.size()) {
+      const ssize_t n =
+          ::send(fd, burst.data() + off, burst.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;
+      }
+      off += static_cast<size_t>(n);
+    }
+    sent_all.store(true);
+  });
+  if (stall_ms > 0) {
+    std::printf("flood: pipelining %zu frames (%zu bytes), stonewalling "
+                "%zu ms before reading\n",
+                frames, burst.size(), stall_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+
+  // Drain every response, classifying per-frame outcomes.
+  size_t ok = 0, overloaded = 0, other = 0;
+  tq::Timer timer;
+  {
+    tq::net::FrameAssembler assembler;
+    char buf[64 << 10];
+    size_t answered = 0;
+    while (answered < frames) {
+      std::string payload;
+      if (assembler.Next(&payload) ==
+          tq::net::FrameAssembler::Result::kFrame) {
+        tq::net::NetResponse resp;
+        if (!tq::net::DecodeResponse(payload, &resp).ok()) {
+          ++other;
+        } else if (resp.status.ok()) {
+          ++ok;
+        } else if (resp.status.code() == tq::StatusCode::kOverloaded) {
+          ++overloaded;
+        } else {
+          ++other;
+        }
+        ++answered;
+        continue;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;  // EOF / error: the missing frames count below
+      assembler.Feed(buf, static_cast<size_t>(n));
+    }
+  }
+  sender.join();
+  ::close(fd);
+
+  const size_t answered = ok + overloaded + other;
+  std::printf("flood: %zu/%zu frames answered in %.3f s — %zu served, "
+              "%zu overloaded, %zu other\n",
+              answered, frames, timer.ElapsedSeconds(), ok, overloaded,
+              other);
+  std::printf("# json: {\"flood\":true,\"frames\":%zu,\"answered\":%zu,"
+              "\"served\":%zu,\"overloaded\":%zu,\"other\":%zu,"
+              "\"sent_all\":%s,\"drain_s\":%.3f}\n",
+              frames, answered, ok, overloaded, other,
+              sent_all.load() ? "true" : "false", timer.ElapsedSeconds());
+  if (!sent_all.load()) {
+    std::fprintf(stderr, "flood: send side aborted early\n");
+    return 1;
+  }
+  if (answered != frames || other != 0) {
+    std::fprintf(stderr, "flood: %zu frames unanswered, %zu malformed/"
+                 "unexpected\n", frames - answered, other);
+    return 1;
+  }
+  return 0;
+}
+
 int CmdStats(const Args& args) {
   if (!args.target.empty()) return CmdStatsNet(args);
   const std::string in = args.Get("in");
@@ -591,6 +762,14 @@ int RunListenLoop(tq::runtime::ServingEngine& engine, const Args& args) {
   }
   options.port = static_cast<uint16_t>(port);
   options.update_batch = std::max<size_t>(1, args.GetSize("update-batch", 1));
+  // Backpressure knobs: --max-outbox-kb moves the per-connection pause
+  // watermark (resume at half; 0 disables), --max-queued arms admission
+  // control (shed read queries with kOverloaded past that backlog).
+  if (args.kv.count("max-outbox-kb") != 0) {
+    options.outbox_high_bytes = args.GetSize("max-outbox-kb", 0) * 1024;
+    options.outbox_low_bytes = options.outbox_high_bytes / 2;
+  }
+  options.max_queued = args.GetSize("max-queued", 0);
   ArmSlowQueryLog(engine, args);
   tq::net::NetServer server(&engine, options);
   const Status st = server.Start();
@@ -723,6 +902,7 @@ int RunServeLoop(EngineT& engine, tq::TrajectorySet mirror,
 // protocol by scatter/gather over them (runtime/remote_shard_set.h).
 int RunCoordinator(const Args& args) {
   tq::runtime::RemoteShardSetOptions options;
+  const std::string data_dir = args.Get("data-dir");
   const std::string list = args.Get("workers");
   size_t pos = 0;
   while (pos < list.size()) {
@@ -738,9 +918,25 @@ int RunCoordinator(const Args& args) {
     options.workers.emplace_back(std::move(host), port);
     pos = comma + 1;
   }
+  if (options.workers.empty() && !data_dir.empty()) {
+    // Restart path: --workers omitted, recover the set saved by the last
+    // successful Connect() under this data dir.
+    const Status loaded = tq::runtime::RemoteShardSet::LoadWorkerSet(
+        data_dir, &options.workers);
+    if (!loaded.ok() && loaded.code() != tq::StatusCode::kNotFound) {
+      std::fprintf(stderr, "%s\n", loaded.ToString().c_str());
+      return 1;
+    }
+    if (!options.workers.empty()) {
+      std::printf("worker set: %zu endpoints recovered from %s\n",
+                  options.workers.size(), data_dir.c_str());
+    }
+  }
   if (options.workers.empty()) {
-    std::fprintf(stderr, "serve --coordinator needs --workers "
-                         "HOST:PORT[,HOST:PORT...]\n");
+    std::fprintf(stderr,
+                 "serve --coordinator needs --workers "
+                 "HOST:PORT[,HOST:PORT...] (or --data-dir DIR holding a "
+                 "saved worker set)\n");
     return 2;
   }
   if (args.kv.count("listen") == 0) {
@@ -758,6 +954,16 @@ int RunCoordinator(const Args& args) {
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
+  }
+  if (!data_dir.empty() && !list.empty()) {
+    // Persist only a set that just verified its geometry — the restart
+    // path above then redials exactly this cluster.
+    const Status saved = tq::runtime::RemoteShardSet::SaveWorkerSet(
+        data_dir, options.workers);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
   }
   const tq::runtime::EngineInfo info = engine.info();
   std::printf("coordinator up: %zu workers tiling %u shards, "
@@ -954,6 +1160,7 @@ int main(int argc, char** argv) {
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "status") return CmdStatusNet(args);
   if (args.command == "query") return CmdQuery(args);
+  if (args.command == "flood") return CmdFlood(args);
   if (args.command == "topk") return CmdTopK(args);
   if (args.command == "cover") return CmdCover(args);
   if (args.command == "serve") return CmdServe(args);
